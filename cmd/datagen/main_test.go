@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestBuildAllKinds(t *testing.T) {
+	for _, kind := range []string{"obama", "reverb", "restaurant", "book", "uniform", "correlated", "anti", "extraction"} {
+		d, err := build(kind, 1, 4, 200, 0.5, 0.7, 0.5, 50)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if d.NumTriples() == 0 || d.NumSources() == 0 {
+			t.Errorf("%s: empty dataset", kind)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	if _, err := build("martian", 1, 4, 200, 0.5, 0.7, 0.5, 50); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCheapExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	for _, exp := range []string{"fig1b", "fig1c", "fig3", "fig4b", "copy"} {
+		if err := run(&buf, exp, 1, 1, 2); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 1b", "Union-25", "C+", "PrecRecCorr", "CopyDiscount"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig99", 1, 1, 2); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,148 @@
+// Command fuse runs truth discovery over a JSONL dataset (as written by
+// datagen or by dataset.Write) and emits the scored triples.
+//
+// Usage:
+//
+//	fuse -in data.jsonl [-method precrec|corr|aggressive|elastic|union|3est|ltm]
+//	     [-alpha 0.5] [-union-k 50] [-level 3] [-scope global|subject]
+//	     [-smoothing 0] [-out fused.jsonl] [-accepted-only]
+//
+// The input's gold labels (where present) are used as training data for the
+// supervised methods; output rows carry the computed probability and the
+// accept decision.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"corrfuse"
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/store"
+)
+
+func main() {
+	in := flag.String("in", "", "input dataset (JSONL; required)")
+	out := flag.String("out", "", "output path (default stdout)")
+	method := flag.String("method", "corr", "fusion method: precrec, corr, aggressive, elastic, union, 3est, ltm")
+	alpha := flag.Float64("alpha", 0, "a-priori truth probability (0 = derive from labels)")
+	unionK := flag.Int("union-k", 50, "acceptance percentage for -method union")
+	level := flag.Int("level", 3, "elastic approximation level for -method elastic")
+	scope := flag.String("scope", "global", "accountability scope: global or subject")
+	smoothing := flag.Float64("smoothing", 0, "add-k smoothing for quality estimation")
+	acceptedOnly := flag.Bool("accepted-only", false, "emit only accepted triples")
+	flag.Parse()
+
+	if err := run(*in, *out, *method, *alpha, *unionK, *level, *scope, *smoothing, *acceptedOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "fuse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, method string, alpha float64, unionK, level int, scopeName string, smoothing float64, acceptedOnly bool) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	d, err := dataset.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	opts := corrfuse.Options{
+		UnionK:       unionK,
+		ElasticLevel: level,
+		Smoothing:    smoothing,
+	}
+	switch method {
+	case "precrec":
+		opts.Method = corrfuse.PrecRec
+	case "corr":
+		opts.Method = corrfuse.PrecRecCorr
+	case "aggressive":
+		opts.Method = corrfuse.PrecRecCorrAggressive
+	case "elastic":
+		opts.Method = corrfuse.PrecRecCorrElastic
+	case "union":
+		opts.Method = corrfuse.UnionK
+	case "3est":
+		opts.Method = corrfuse.ThreeEstimates
+	case "ltm":
+		opts.Method = corrfuse.LTM
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	switch scopeName {
+	case "global", "":
+		opts.Scope = corrfuse.ScopeGlobal{}
+	case "subject":
+		opts.Scope = corrfuse.NewScopeSubject(d)
+	default:
+		return fmt.Errorf("unknown scope %q", scopeName)
+	}
+	if alpha == 0 {
+		nt, nf := d.CountLabels()
+		if nt+nf > 0 {
+			opts.Alpha = float64(nt) / float64(nt+nf)
+			if opts.Alpha < 0.05 {
+				opts.Alpha = 0.05
+			}
+			if opts.Alpha > 0.95 {
+				opts.Alpha = 0.95
+			}
+		}
+	} else {
+		opts.Alpha = alpha
+	}
+
+	fuser, err := corrfuse.New(d, opts)
+	if err != nil {
+		return err
+	}
+	res, err := fuser.Fuse()
+	if err != nil {
+		return err
+	}
+
+	st := store.New()
+	rows := res.All
+	if acceptedOnly {
+		rows = res.Accepted
+	}
+	acceptedSet := make(map[corrfuse.TripleID]bool, len(res.Accepted))
+	for _, r := range res.Accepted {
+		acceptedSet[r.ID] = true
+	}
+	for _, r := range rows {
+		entry := store.Entry{
+			Triple:      r.Triple,
+			Probability: r.Probability,
+			Accepted:    acceptedSet[r.ID],
+		}
+		for _, s := range d.Providers(r.ID) {
+			entry.Sources = append(entry.Sources, d.SourceName(s))
+		}
+		st.Put(entry)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		file, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := st.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fuse: %s over %d sources, %d triples → %d accepted\n",
+		fuser.MethodName(), d.NumSources(), len(res.All), len(res.Accepted))
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/store"
+)
+
+func writeInput(t *testing.T) string {
+	t.Helper()
+	d, err := dataset.SimulatedRestaurant(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "in.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.Write(f, d); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestRunAllMethods(t *testing.T) {
+	in := writeInput(t)
+	for _, method := range []string{"precrec", "corr", "aggressive", "elastic", "union", "3est", "ltm"} {
+		out := filepath.Join(t.TempDir(), method+".jsonl")
+		if err := run(in, out, method, 0, 50, 2, "global", 0, false); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		st, err := store.Load(out)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if st.Len() == 0 {
+			t.Errorf("%s produced no output", method)
+		}
+	}
+}
+
+func TestRunSubjectScopeAndAcceptedOnly(t *testing.T) {
+	in := writeInput(t)
+	out := filepath.Join(t.TempDir(), "out.jsonl")
+	if err := run(in, out, "corr", 0.7, 50, 3, "subject", 0.5, true); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range st.Accepted() {
+		if !e.Accepted {
+			t.Fatal("accepted-only output contains rejected entries")
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "corr", 0, 50, 3, "global", 0, false); err == nil {
+		t.Error("missing input should fail")
+	}
+	if err := run("/nonexistent.jsonl", "", "corr", 0, 50, 3, "global", 0, false); err == nil {
+		t.Error("unreadable input should fail")
+	}
+	in := writeInput(t)
+	if err := run(in, "", "nope", 0, 50, 3, "global", 0, false); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if err := run(in, "", "corr", 0, 50, 3, "sideways", 0, false); err == nil {
+		t.Error("unknown scope should fail")
+	}
+}

@@ -1,0 +1,323 @@
+package corrfuse_test
+
+import (
+	"testing"
+
+	"corrfuse"
+	"corrfuse/internal/dataset"
+)
+
+// obama returns the Figure-1 running example through the public API surface.
+func obama() *corrfuse.Dataset { return dataset.Obama() }
+
+func TestFuseObamaPrecRec(t *testing.T) {
+	d := obama()
+	f, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.PrecRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 2.3 headline: precision 0.75, recall 1 → 8 accepted, 6 true.
+	if len(res.Accepted) != 8 {
+		t.Fatalf("accepted %d triples, want 8", len(res.Accepted))
+	}
+	trueAccepted := 0
+	for _, st := range res.Accepted {
+		id, _ := d.TripleID(st.Triple)
+		if d.Label(id) == corrfuse.True {
+			trueAccepted++
+		}
+	}
+	if trueAccepted != 6 {
+		t.Errorf("true accepted = %d, want 6 (precision 0.75)", trueAccepted)
+	}
+	if len(res.All) != 10 {
+		t.Errorf("all = %d, want 10", len(res.All))
+	}
+	// Ranking is descending.
+	for i := 1; i < len(res.All); i++ {
+		if res.All[i].Probability > res.All[i-1].Probability {
+			t.Fatal("result not sorted by probability")
+		}
+	}
+}
+
+func TestFuseObamaCorrBeatsPrecRec(t *testing.T) {
+	d := obama()
+	run := func(m corrfuse.Method) (prec, rec float64) {
+		f, err := corrfuse.New(d, corrfuse.Options{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Fuse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := 0
+		for _, st := range res.Accepted {
+			id, _ := d.TripleID(st.Triple)
+			if d.Label(id) == corrfuse.True {
+				tp++
+			}
+		}
+		if len(res.Accepted) == 0 {
+			return 0, 0
+		}
+		return float64(tp) / float64(len(res.Accepted)), float64(tp) / 6
+	}
+	pIndep, _ := run(corrfuse.PrecRec)
+	pCorr, rCorr := run(corrfuse.PrecRecCorr)
+	if pCorr < pIndep {
+		t.Errorf("correlation-aware precision %v should be >= independent %v", pCorr, pIndep)
+	}
+	// Section 2.3: the correlation model reaches precision 1 here.
+	if pCorr != 1 {
+		t.Errorf("PrecRecCorr precision = %v, want 1 (paper §2.3)", pCorr)
+	}
+	if rCorr < 0.8 {
+		t.Errorf("PrecRecCorr recall = %v, want ≈ 0.83", rCorr)
+	}
+}
+
+func TestAllMethodsRun(t *testing.T) {
+	d := obama()
+	methods := []corrfuse.Method{
+		corrfuse.PrecRec, corrfuse.PrecRecCorr, corrfuse.PrecRecCorrAggressive,
+		corrfuse.PrecRecCorrElastic, corrfuse.UnionK, corrfuse.ThreeEstimates, corrfuse.LTM,
+	}
+	for _, m := range methods {
+		f, err := corrfuse.New(d, corrfuse.Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if f.MethodName() == "" {
+			t.Errorf("%v: empty method name", m)
+		}
+		res, err := f.Fuse()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for _, st := range res.All {
+			if st.Probability < 0 || st.Probability > 1 {
+				t.Errorf("%v: probability %v out of range", m, st.Probability)
+			}
+		}
+	}
+}
+
+func TestProbabilityAndDecide(t *testing.T) {
+	d := obama()
+	f, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.PrecRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := dataset.ObamaTriple(2) // false triple
+	p, ok := f.Probability(t2)
+	if !ok {
+		t.Fatal("t2 should be known")
+	}
+	if p >= 0.5 {
+		t.Errorf("Pr(t2) = %v, want < 0.5", p)
+	}
+	if acc, known := f.Decide(t2); !known || acc {
+		t.Errorf("Decide(t2) = (%v, %v), want (false, true)", acc, known)
+	}
+	unknown := corrfuse.Triple{Subject: "nobody", Predicate: "none", Object: "x"}
+	if _, ok := f.Probability(unknown); ok {
+		t.Error("unknown triple reported known")
+	}
+	if _, known := f.Decide(unknown); known {
+		t.Error("unknown triple decided")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := corrfuse.New(nil, corrfuse.Options{}); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	d := obama()
+	if _, err := corrfuse.New(d, corrfuse.Options{Alpha: 1.5}); err == nil {
+		t.Error("invalid alpha should fail")
+	}
+	if _, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.Method(99)}); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if _, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.UnionK, UnionK: 300}); err == nil {
+		t.Error("invalid UnionK should fail")
+	}
+	// No labels → supervised methods fail.
+	empty := corrfuse.NewDataset()
+	s := empty.AddSource("A")
+	empty.Observe(s, corrfuse.Triple{Subject: "e", Predicate: "p", Object: "v"})
+	if _, err := corrfuse.New(empty, corrfuse.Options{Method: corrfuse.PrecRec}); err == nil {
+		t.Error("supervised method without labels should fail")
+	}
+	// Unsupervised methods are fine without labels.
+	if _, err := corrfuse.New(empty, corrfuse.Options{Method: corrfuse.UnionK}); err != nil {
+		t.Errorf("UnionK without labels: %v", err)
+	}
+}
+
+func TestClusteringModes(t *testing.T) {
+	d, err := dataset.SimulatedBook(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ClusterNever with 333 sources and the exact method must fail.
+	_, err = corrfuse.New(d, corrfuse.Options{
+		Method:     corrfuse.PrecRecCorr,
+		Clustering: corrfuse.ClusterNever,
+	})
+	if err == nil {
+		t.Error("exact over 333 sources without clustering should fail")
+	}
+	// ClusterAuto clusters and succeeds.
+	f, err := corrfuse.New(d, corrfuse.Options{
+		Method:         corrfuse.PrecRecCorr,
+		Scope:          corrfuse.NewScopeSubject(d),
+		Smoothing:      0.5,
+		MaxClusterSize: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Clusters() == nil {
+		t.Error("auto mode should have produced clusters")
+	}
+	// Elastic without clustering works at any width.
+	if _, err := corrfuse.New(d, corrfuse.Options{
+		Method:     corrfuse.PrecRecCorrElastic,
+		Clustering: corrfuse.ClusterNever,
+		Smoothing:  0.5,
+	}); err != nil {
+		t.Errorf("elastic without clustering: %v", err)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[corrfuse.Method]string{
+		corrfuse.PrecRec:               "PrecRec",
+		corrfuse.PrecRecCorr:           "PrecRecCorr",
+		corrfuse.PrecRecCorrElastic:    "PrecRecCorr-Elastic",
+		corrfuse.PrecRecCorrAggressive: "PrecRecCorr-Aggressive",
+		corrfuse.UnionK:                "Union-K",
+		corrfuse.ThreeEstimates:        "3-Estimates",
+		corrfuse.LTM:                   "LTM",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	if corrfuse.Method(42).String() == "" {
+		t.Error("unknown method should render")
+	}
+}
+
+func TestTrainSplit(t *testing.T) {
+	// Using only half the gold labels for training still fuses sensibly.
+	d, err := dataset.SimulatedRestaurant(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled := d.Labeled()
+	train := labeled[:len(labeled)/2]
+	f, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.PrecRecCorr, Train: train})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate on the held-out half.
+	held := map[corrfuse.TripleID]bool{}
+	for _, id := range labeled[len(labeled)/2:] {
+		held[id] = true
+	}
+	tp, fp := 0, 0
+	for _, st := range res.Accepted {
+		if !held[st.ID] {
+			continue
+		}
+		if d.Label(st.ID) == corrfuse.True {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("no held-out true triples accepted")
+	}
+	if prec := float64(tp) / float64(tp+fp); prec < 0.7 {
+		t.Errorf("held-out precision = %v, want >= 0.7", prec)
+	}
+}
+
+func TestClusterAlwaysMode(t *testing.T) {
+	d, err := dataset.SimulatedReVerb(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := corrfuse.New(d, corrfuse.Options{
+		Method:     corrfuse.PrecRecCorr,
+		Alpha:      0.26,
+		Clustering: corrfuse.ClusterAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Clusters() == nil {
+		t.Error("ClusterAlways should produce a partition")
+	}
+	if _, err := f.Fuse(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelismOption(t *testing.T) {
+	d, err := dataset.SimulatedReVerb(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.PrecRecCorr, Alpha: 0.26, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.PrecRecCorr, Alpha: 0.26, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := serial.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := parallel.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.All) != len(rp.All) || len(rs.Accepted) != len(rp.Accepted) {
+		t.Fatal("parallel and serial fusion disagree on set sizes")
+	}
+	for i := range rs.All {
+		if rs.All[i].Probability != rp.All[i].Probability {
+			t.Fatal("parallel and serial fusion disagree on probabilities")
+		}
+	}
+}
+
+func TestElasticLevelOption(t *testing.T) {
+	d := obama()
+	for _, level := range []int{1, 2, 5} {
+		f, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.PrecRecCorrElastic, ElasticLevel: level})
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if _, err := f.Fuse(); err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+	}
+}

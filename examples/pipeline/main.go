@@ -1,0 +1,94 @@
+// Full-pipeline example: raw confidence-scored extractions from messy,
+// unnormalized sources are canonicalized (schema mapping + reference
+// reconciliation), thresholded into a dataset, fused with the
+// correlation-aware model, post-processed with single-truth resolution for
+// the birth-date attribute, and finally served incrementally as new
+// observations stream in.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"corrfuse"
+)
+
+func main() {
+	// 1. Raw extractions: same facts, different surface forms and
+	//    confidences, from three extraction systems.
+	raw := []corrfuse.ConfidenceObservation{
+		{Source: "wiki-text", Triple: tr("Barack Obama", "occupation", "US President"), Confidence: 0.95},
+		{Source: "wiki-text", Triple: tr("Barack Obama", "born", "1961-08-04"), Confidence: 0.90},
+		{Source: "wiki-text", Triple: tr("Barack  Obama", "born", "1936"), Confidence: 0.40}, // Obama Sr. confusion
+		{Source: "infobox", Triple: tr("B. Obama", "Occupation", "president."), Confidence: 0.99},
+		{Source: "infobox", Triple: tr("B. Obama", "Born", "1961-08-04"), Confidence: 0.97},
+		{Source: "infobox", Triple: tr("B. Obama", "Spouse", "Michelle Obama"), Confidence: 0.98},
+		{Source: "news", Triple: tr("BARACK OBAMA", "occupation", "lawyer"), Confidence: 0.80},
+		{Source: "news", Triple: tr("BARACK OBAMA", "born", "1961-08-04"), Confidence: 0.70},
+		{Source: "news", Triple: tr("BARACK OBAMA", "born", "1962-08-04"), Confidence: 0.65}, // typo'd year
+	}
+
+	// 2. Normalize: one schema, one entity name.
+	// Alias targets should themselves be canonical strings — they are
+	// substituted verbatim.
+	n := corrfuse.NewNormalizer()
+	n.MapPredicate("occupation", "profession")
+	n.MapEntity("Barack Obama", "obama")
+	n.MapEntity("B. Obama", "obama")
+	n.MapValue("US President", "president")
+	for i := range raw {
+		raw[i].Triple = n.Apply(raw[i].Triple)
+	}
+
+	// 3. Threshold confidences into a dataset.
+	d, err := corrfuse.Materialize(raw, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after normalization + thresholding: %d sources, %d distinct triples\n",
+		d.NumSources(), d.NumTriples())
+
+	// 4. Label a training subset (in practice crowdsourced; here by hand).
+	d.SetLabel(n.Apply(tr("Barack Obama", "profession", "president")), corrfuse.True)
+	d.SetLabel(n.Apply(tr("Barack Obama", "profession", "lawyer")), corrfuse.True)
+	d.SetLabel(n.Apply(tr("Barack Obama", "born", "1961-08-04")), corrfuse.True)
+	d.SetLabel(n.Apply(tr("Barack Obama", "born", "1962-08-04")), corrfuse.False)
+	d.SetLabel(n.Apply(tr("Barack Obama", "spouse", "Michelle Obama")), corrfuse.True)
+
+	// 5. Fuse with the correlation-aware model.
+	f, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.PrecRecCorr, Alpha: 0.7, Smoothing: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := f.Fuse()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Single-truth arbitration: a person has one birth date.
+	resolved := res.ResolveSingleValued([]string{"born"})
+	fmt.Println("\nfused knowledge base (born is single-valued):")
+	for _, st := range resolved.All {
+		fmt.Printf("  %-45s Pr=%.3f\n", st.Triple, st.Probability)
+	}
+
+	// 7. Online serving: new claims arrive; probabilities update in O(1).
+	inc, err := f.Incremental(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh := n.Apply(tr("Barack Obama", "profession", "community organizer"))
+	src, _ := d.SourceID("news")
+	p, err := inc.Observe(src, fresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreaming update: %v from one source → Pr=%.3f\n", fresh, p)
+	src2, _ := d.SourceID("wiki-text")
+	p, _ = inc.Observe(src2, fresh)
+	fmt.Printf("                  corroborated by a second source → Pr=%.3f\n", p)
+}
+
+func tr(s, p, o string) corrfuse.Triple {
+	return corrfuse.Triple{Subject: s, Predicate: p, Object: o}
+}

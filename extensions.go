@@ -1,0 +1,83 @@
+package corrfuse
+
+import (
+	"fmt"
+
+	"corrfuse/internal/core"
+	"corrfuse/internal/normalize"
+	"corrfuse/internal/resolve"
+	"corrfuse/internal/triple"
+)
+
+// ConfidenceObservation is a source claim with an extraction confidence
+// score (§2.1). Build a Dataset from a batch of them with Materialize.
+type ConfidenceObservation = triple.ConfidenceObservation
+
+// Materialize thresholds confidence-scored observations into a Dataset:
+// a source outputs a triple iff its confidence is at least threshold.
+func Materialize(obs []ConfidenceObservation, threshold float64) (*Dataset, error) {
+	return triple.Materialize(obs, threshold)
+}
+
+// Normalizer canonicalizes triples (schema mapping and reference
+// reconciliation — the pre-processing §2.1 assumes).
+type Normalizer = normalize.Normalizer
+
+// NewNormalizer returns an empty Normalizer; add aliases with MapPredicate,
+// MapEntity and MapValue, then rewrite a dataset with its Dataset method.
+func NewNormalizer() *Normalizer { return normalize.New() }
+
+// Incremental maintains PrecRec probabilities under a stream of
+// observations with O(1) updates; see Fuser.Incremental.
+type Incremental = core.Incremental
+
+// Incremental derives an online fuser from this Fuser's trained quality
+// model. Only the supervised methods carry a quality model; penalizeSilence
+// selects global-scope semantics (every silent source counts against a
+// triple). The returned Incremental is independent of the Fuser's dataset:
+// feed it any observation stream.
+func (f *Fuser) Incremental(penalizeSilence bool) (*Incremental, error) {
+	if f.est == nil {
+		return nil, fmt.Errorf("corrfuse: method %s has no trained quality model; use PrecRec or a PrecRecCorr variant", f.MethodName())
+	}
+	return core.NewIncremental(f.est, f.d.NumSources(), penalizeSilence)
+}
+
+// ResolveSingleValued enforces single-truth semantics on a fusion result:
+// for each predicate in singleValued, only the most probable value per
+// (subject, predicate) survives in both Accepted and All (§7 future work —
+// "a person only has a single birth date"). It returns a new Result.
+func (r *Result) ResolveSingleValued(singleValued []string) *Result {
+	preds := make(map[string]bool, len(singleValued))
+	for _, p := range singleValued {
+		preds[p] = true
+	}
+	convert := func(in []ScoredTriple) []resolve.Scored {
+		out := make([]resolve.Scored, len(in))
+		for i, st := range in {
+			out[i] = resolve.Scored{ID: st.ID, Triple: st.Triple, Probability: st.Probability}
+		}
+		return out
+	}
+	back := func(in []resolve.Scored) []ScoredTriple {
+		out := make([]ScoredTriple, len(in))
+		for i, s := range in {
+			out[i] = ScoredTriple{ID: s.ID, Triple: s.Triple, Probability: s.Probability}
+		}
+		return out
+	}
+	// Arbitrate on the full ranking so suppressed values disappear from
+	// Accepted even when several values of one key clear the threshold.
+	kept := resolve.SingleValued(convert(r.All), preds)
+	keptSet := make(map[TripleID]bool, len(kept))
+	for _, s := range kept {
+		keptSet[s.ID] = true
+	}
+	out := &Result{All: back(kept)}
+	for _, st := range r.Accepted {
+		if keptSet[st.ID] {
+			out.Accepted = append(out.Accepted, st)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package corrfuse_test
+
+import (
+	"testing"
+
+	"corrfuse"
+)
+
+func TestMaterializePublicAPI(t *testing.T) {
+	obs := []corrfuse.ConfidenceObservation{
+		{Source: "A", Triple: corrfuse.Triple{Subject: "e", Predicate: "p", Object: "1"}, Confidence: 0.9},
+		{Source: "A", Triple: corrfuse.Triple{Subject: "e", Predicate: "p", Object: "2"}, Confidence: 0.2},
+		{Source: "B", Triple: corrfuse.Triple{Subject: "e", Predicate: "p", Object: "1"}, Confidence: 0.8},
+	}
+	d, err := corrfuse.Materialize(obs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTriples() != 1 {
+		t.Errorf("triples = %d, want 1 (low-confidence claim dropped)", d.NumTriples())
+	}
+}
+
+func TestNormalizerPublicAPI(t *testing.T) {
+	n := corrfuse.NewNormalizer()
+	n.MapEntity("Barack Obama", "Obama")
+	got := n.Apply(corrfuse.Triple{Subject: "  barack  OBAMA ", Predicate: "Spouse", Object: "Michelle."})
+	if got.Subject != "Obama" || got.Predicate != "spouse" || got.Object != "michelle" {
+		t.Errorf("Apply = %v", got)
+	}
+}
+
+func TestIncrementalPublicAPI(t *testing.T) {
+	d := obama()
+	f, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.PrecRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := f.Incremental(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream the Obama observations; final state must match batch PrecRec.
+	for s := 0; s < d.NumSources(); s++ {
+		for _, id := range d.Output(corrfuse.SourceID(s)) {
+			if _, err := inc.Observe(corrfuse.SourceID(s), d.Triple(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < d.NumTriples(); i++ {
+		tr := d.Triple(corrfuse.TripleID(i))
+		batch, _ := f.Probability(tr)
+		online, ok := inc.Probability(tr)
+		if !ok {
+			t.Fatalf("%v unobserved", tr)
+		}
+		if diff := batch - online; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%v: online %v vs batch %v", tr, online, batch)
+		}
+	}
+	// Unsupervised methods have no quality model.
+	u, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.UnionK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Incremental(true); err == nil {
+		t.Error("UnionK should not offer an incremental fuser")
+	}
+}
+
+func TestResolveSingleValuedPublicAPI(t *testing.T) {
+	d := obama()
+	f, err := corrfuse.New(d, corrfuse.Options{Method: corrfuse.PrecRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "profession" has three true values; treating it as single-valued
+	// must keep exactly one.
+	resolved := res.ResolveSingleValued([]string{"profession"})
+	count := 0
+	for _, st := range resolved.All {
+		if st.Triple.Predicate == "profession" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("single-valued profession kept %d values, want 1", count)
+	}
+	// Other predicates untouched.
+	var spouse int
+	for _, st := range resolved.All {
+		if st.Triple.Predicate == "spouse" {
+			spouse++
+		}
+	}
+	if spouse != 1 {
+		t.Errorf("spouse rows = %d, want 1 (unchanged)", spouse)
+	}
+	// Accepted is a subset of the kept rows.
+	kept := map[corrfuse.TripleID]bool{}
+	for _, st := range resolved.All {
+		kept[st.ID] = true
+	}
+	for _, st := range resolved.Accepted {
+		if !kept[st.ID] {
+			t.Error("accepted row missing from All")
+		}
+	}
+}

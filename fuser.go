@@ -1,0 +1,221 @@
+package corrfuse
+
+import (
+	"fmt"
+	"sort"
+
+	"corrfuse/internal/baseline"
+	"corrfuse/internal/cluster"
+	"corrfuse/internal/core"
+	"corrfuse/internal/quality"
+	"corrfuse/internal/triple"
+)
+
+// scorer is the common surface of all algorithms.
+type scorer interface {
+	Name() string
+	Probability(id triple.TripleID) float64
+	Score(ids []triple.TripleID) []float64
+}
+
+// Fuser scores triples with correctness probabilities using the configured
+// method. Build one with New; it is immutable and safe for concurrent use
+// after construction.
+type Fuser struct {
+	d    *Dataset
+	opts Options
+	alg  scorer
+
+	clusters [][]SourceID
+	est      *quality.Estimator
+}
+
+// New builds a Fuser over d. Supervised methods (PrecRec and the PrecRecCorr
+// family) require gold labels on a training subset of d (Options.Train, or
+// all labeled triples); unsupervised baselines do not.
+func New(d *Dataset, opts Options) (*Fuser, error) {
+	if d == nil {
+		return nil, fmt.Errorf("corrfuse: nil dataset")
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.5
+	}
+	if opts.Alpha <= 0 || opts.Alpha >= 1 {
+		return nil, fmt.Errorf("corrfuse: Alpha %v outside (0,1)", opts.Alpha)
+	}
+	if opts.Scope == nil {
+		opts.Scope = ScopeGlobal{}
+	}
+	if opts.ElasticLevel == 0 {
+		opts.ElasticLevel = 3
+	}
+	if opts.UnionK == 0 {
+		opts.UnionK = 50
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	f := &Fuser{d: d, opts: opts}
+	switch opts.Method {
+	case UnionK:
+		alg, err := baseline.NewUnionKScoped(d, opts.UnionK, opts.Scope)
+		if err != nil {
+			return nil, err
+		}
+		f.alg = alg
+	case ThreeEstimates:
+		f.alg = baseline.NewThreeEstimates(d, baseline.ThreeEstimatesOptions{
+			Iterations: opts.Iterations,
+			Scope:      opts.Scope,
+		})
+	case LTM:
+		f.alg = baseline.NewLTM(d, baseline.LTMOptions{
+			Iterations: opts.LTMIterations,
+			BurnIn:     opts.LTMBurnIn,
+			Seed:       opts.Seed,
+			Scope:      opts.Scope,
+		})
+	case PrecRec, PrecRecCorr, PrecRecCorrAggressive, PrecRecCorrElastic:
+		est, err := quality.NewEstimator(d, quality.Options{
+			Alpha:     opts.Alpha,
+			Scope:     opts.Scope,
+			Smoothing: opts.Smoothing,
+			Train:     opts.Train,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.est = est
+		cfg := core.Config{Dataset: d, Params: est, Scope: opts.Scope}
+		if opts.Method != PrecRec {
+			clusters, err := f.resolveClusters(est)
+			if err != nil {
+				return nil, err
+			}
+			f.clusters = clusters
+			cfg.Clusters = clusters
+		}
+		var alg scorer
+		switch opts.Method {
+		case PrecRec:
+			alg, err = core.NewPrecRec(cfg)
+		case PrecRecCorr:
+			alg, err = core.NewExact(cfg)
+		case PrecRecCorrAggressive:
+			alg, err = core.NewAggressive(cfg)
+		case PrecRecCorrElastic:
+			alg, err = core.NewElastic(cfg, opts.ElasticLevel)
+		}
+		if err != nil {
+			return nil, err
+		}
+		f.alg = alg
+	default:
+		return nil, fmt.Errorf("corrfuse: unknown method %v", opts.Method)
+	}
+	return f, nil
+}
+
+// resolveClusters applies the clustering policy.
+func (f *Fuser) resolveClusters(est *quality.Estimator) ([][]SourceID, error) {
+	n := f.d.NumSources()
+	copts := cluster.Options{
+		Threshold:      f.opts.ClusterThreshold,
+		MaxClusterSize: f.opts.MaxClusterSize,
+	}
+	switch f.opts.Clustering {
+	case ClusterNever:
+		if f.opts.Method == PrecRecCorr && n > core.MaxExactCluster {
+			return nil, fmt.Errorf("corrfuse: %d sources exceed the exact model's limit of %d; enable clustering or use the elastic method", n, core.MaxExactCluster)
+		}
+		return nil, nil // single cluster (core default)
+	case ClusterAlways:
+		return cluster.Cluster(est, copts), nil
+	default: // ClusterAuto
+		if n <= core.MaxExactCluster && f.opts.Method == PrecRecCorr {
+			return nil, nil
+		}
+		if n <= 16 {
+			// Small enough for any method without clustering.
+			return nil, nil
+		}
+		return cluster.Cluster(est, copts), nil
+	}
+}
+
+// MethodName returns the descriptive name of the configured algorithm.
+func (f *Fuser) MethodName() string { return f.alg.Name() }
+
+// Clusters returns the correlation clusters in effect (nil when the method
+// runs over a single cluster).
+func (f *Fuser) Clusters() [][]SourceID { return f.clusters }
+
+// Probability returns Pr(t true | observations) for a triple already present
+// in the dataset. ok is false when the triple is unknown.
+func (f *Fuser) Probability(t Triple) (p float64, ok bool) {
+	id, ok := f.d.TripleID(t)
+	if !ok {
+		return 0, false
+	}
+	return f.alg.Probability(id), true
+}
+
+// ProbabilityByID returns Pr(t true | observations) for a triple ID.
+func (f *Fuser) ProbabilityByID(id TripleID) float64 { return f.alg.Probability(id) }
+
+// Score computes probabilities for the given triple IDs, using
+// Options.Parallelism workers for the core algorithms.
+func (f *Fuser) Score(ids []TripleID) []float64 {
+	if alg, ok := f.alg.(core.Algorithm); ok && f.opts.Parallelism != 1 {
+		return core.ParallelScore(alg, ids, f.opts.Parallelism)
+	}
+	return f.alg.Score(ids)
+}
+
+// Decide reports whether the triple is accepted as true (probability > 0.5;
+// for UnionK, the K% provider rule).
+func (f *Fuser) Decide(t Triple) (accepted, known bool) {
+	id, ok := f.d.TripleID(t)
+	if !ok {
+		return false, false
+	}
+	return f.decideID(id), true
+}
+
+func (f *Fuser) decideID(id TripleID) bool {
+	if u, ok := f.alg.(*baseline.UnionK); ok {
+		return u.Decide(id)
+	}
+	return f.alg.Probability(id) > 0.5
+}
+
+// Fuse scores every provided triple and returns the accepted set R — the
+// paper's high-quality output {t : t ∈ O ∧ t is true} — together with the
+// full ranking.
+func (f *Fuser) Fuse() (*Result, error) {
+	var ids []TripleID
+	for i := 0; i < f.d.NumTriples(); i++ {
+		id := TripleID(i)
+		if len(f.d.Providers(id)) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	scores := f.Score(ids)
+	res := &Result{}
+	for i, id := range ids {
+		st := ScoredTriple{Triple: f.d.Triple(id), ID: id, Probability: scores[i]}
+		res.All = append(res.All, st)
+		if f.decideID(id) {
+			res.Accepted = append(res.Accepted, st)
+		}
+	}
+	byProb := func(list []ScoredTriple) {
+		sort.SliceStable(list, func(a, b int) bool {
+			return list[a].Probability > list[b].Probability
+		})
+	}
+	byProb(res.All)
+	byProb(res.Accepted)
+	return res, nil
+}

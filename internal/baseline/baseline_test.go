@@ -1,0 +1,251 @@
+package baseline
+
+import (
+	"testing"
+
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/triple"
+)
+
+func obamaIDs(t *testing.T, d *triple.Dataset) []triple.TripleID {
+	t.Helper()
+	ids := make([]triple.TripleID, d.NumTriples())
+	for i := range ids {
+		ids[i] = triple.TripleID(i)
+	}
+	return ids
+}
+
+// TestUnionKFigure1c pins Union-K on the Obama example to Figure 1c.
+func TestUnionKFigure1c(t *testing.T) {
+	d := dataset.Obama()
+	cases := []struct {
+		k                 int
+		wantAcc           int // accepted triples
+		wantTP            int
+		precision, recall float64
+	}{
+		{25, 9, 5, 5.0 / 9, 5.0 / 6},
+		{50, 7, 5, 5.0 / 7, 5.0 / 6},
+		{75, 5, 3, 3.0 / 5, 3.0 / 6},
+	}
+	for _, tc := range cases {
+		u, err := NewUnionK(d, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, tp := 0, 0
+		for _, id := range obamaIDs(t, d) {
+			if u.Decide(id) {
+				acc++
+				if d.Label(id) == triple.True {
+					tp++
+				}
+			}
+		}
+		if acc != tc.wantAcc || tp != tc.wantTP {
+			t.Errorf("Union-%d: accepted %d (%d true), want %d (%d)", tc.k, acc, tp, tc.wantAcc, tc.wantTP)
+		}
+	}
+}
+
+func TestUnionKValidation(t *testing.T) {
+	d := dataset.Obama()
+	for _, k := range []int{0, -5, 101} {
+		if _, err := NewUnionK(d, k); err == nil {
+			t.Errorf("K=%d should be rejected", k)
+		}
+	}
+	u, err := NewUnionK(d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name() != "Union-100" || u.K() != 100 {
+		t.Error("accessors broken")
+	}
+}
+
+func TestUnionKScore(t *testing.T) {
+	d := dataset.Obama()
+	u, _ := NewUnionK(d, 50)
+	ids := obamaIDs(t, d)
+	scores := u.Score(ids)
+	for i, id := range ids {
+		want := float64(len(d.Providers(id))) / 5
+		if scores[i] != want {
+			t.Errorf("score[%d] = %v, want %v", i, scores[i], want)
+		}
+	}
+}
+
+func TestUnionKScoped(t *testing.T) {
+	// Two subjects; A and B cover "x", only C covers "y". A y-triple
+	// provided by C alone is 100% of its electorate under subject scope.
+	d := triple.NewDataset()
+	a := d.AddSource("A")
+	b := d.AddSource("B")
+	c := d.AddSource("C")
+	x := triple.Triple{Subject: "x", Predicate: "p", Object: "1"}
+	y := triple.Triple{Subject: "y", Predicate: "p", Object: "1"}
+	d.Observe(a, x)
+	d.Observe(b, x)
+	yID := d.Observe(c, y)
+
+	global, _ := NewUnionK(d, 50)
+	if global.Decide(yID) {
+		t.Error("global Union-50 should reject a 1-of-3 triple")
+	}
+	scoped, err := NewUnionKScoped(d, 50, triple.NewScopeSubject(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scoped.Decide(yID) {
+		t.Error("scoped Union-50 should accept a 1-of-1 triple")
+	}
+	if got := scoped.Probability(yID); got != 1 {
+		t.Errorf("scoped probability = %v, want 1", got)
+	}
+}
+
+func TestThreeEstimatesSeparatesCleanData(t *testing.T) {
+	// Three good sources agree on true triples; false triples have a
+	// single provider. 3-Estimates should rank agreed triples higher.
+	d := triple.NewDataset()
+	a := d.AddSource("A")
+	b := d.AddSource("B")
+	c := d.AddSource("C")
+	mk := func(o string) triple.Triple {
+		return triple.Triple{Subject: "e", Predicate: "p", Object: o}
+	}
+	var trueIDs, falseIDs []triple.TripleID
+	for i := 0; i < 10; i++ {
+		tt := mk("t" + string(rune('0'+i)))
+		d.Observe(a, tt)
+		d.Observe(b, tt)
+		d.Observe(c, tt)
+		d.SetLabel(tt, triple.True)
+		id, _ := d.TripleID(tt)
+		trueIDs = append(trueIDs, id)
+	}
+	for i := 0; i < 5; i++ {
+		ft := mk("f" + string(rune('0'+i)))
+		d.Observe(a, ft)
+		d.SetLabel(ft, triple.False)
+		id, _ := d.TripleID(ft)
+		falseIDs = append(falseIDs, id)
+	}
+	te := NewThreeEstimates(d, ThreeEstimatesOptions{})
+	minTrue, maxFalse := 1.0, 0.0
+	for _, id := range trueIDs {
+		if p := te.Probability(id); p < minTrue {
+			minTrue = p
+		}
+	}
+	for _, id := range falseIDs {
+		if p := te.Probability(id); p > maxFalse {
+			maxFalse = p
+		}
+	}
+	if minTrue <= maxFalse {
+		t.Errorf("3-Estimates failed to separate: min true %v <= max false %v", minTrue, maxFalse)
+	}
+	if te.Name() != "3-Estimates" {
+		t.Error("name")
+	}
+	// Converged quantities stay in [0, 1].
+	for s := 0; s < d.NumSources(); s++ {
+		if e := te.SourceError(triple.SourceID(s)); e < 0 || e > 1 {
+			t.Errorf("source error %v outside [0,1]", e)
+		}
+	}
+	for i := 0; i < d.NumTriples(); i++ {
+		if phi := te.Difficulty(triple.TripleID(i)); phi < 0 || phi > 1 {
+			t.Errorf("difficulty %v outside [0,1]", phi)
+		}
+	}
+}
+
+func TestLTMSeparatesCleanData(t *testing.T) {
+	// Same clean setup: LTM should give consensus triples higher
+	// posterior probability than singleton mistakes.
+	d := triple.NewDataset()
+	srcs := []triple.SourceID{d.AddSource("A"), d.AddSource("B"), d.AddSource("C"), d.AddSource("D")}
+	mk := func(o string, i int) triple.Triple {
+		return triple.Triple{Subject: "e", Predicate: "p", Object: o + string(rune('0'+i%10)) + string(rune('0'+i/10))}
+	}
+	var trueIDs, falseIDs []triple.TripleID
+	for i := 0; i < 30; i++ {
+		tt := mk("t", i)
+		for _, s := range srcs {
+			d.Observe(s, tt)
+		}
+		d.SetLabel(tt, triple.True)
+		id, _ := d.TripleID(tt)
+		trueIDs = append(trueIDs, id)
+	}
+	for i := 0; i < 15; i++ {
+		ft := mk("f", i)
+		d.Observe(srcs[i%4], ft)
+		d.SetLabel(ft, triple.False)
+		id, _ := d.TripleID(ft)
+		falseIDs = append(falseIDs, id)
+	}
+	m := NewLTM(d, LTMOptions{Iterations: 20, BurnIn: 5, Seed: 7})
+	var sumTrue, sumFalse float64
+	for _, id := range trueIDs {
+		sumTrue += m.Probability(id)
+	}
+	for _, id := range falseIDs {
+		sumFalse += m.Probability(id)
+	}
+	avgTrue := sumTrue / float64(len(trueIDs))
+	avgFalse := sumFalse / float64(len(falseIDs))
+	if avgTrue <= avgFalse {
+		t.Errorf("LTM failed to separate: avg true %v <= avg false %v", avgTrue, avgFalse)
+	}
+	// Posterior quality estimates stay in [0, 1].
+	for _, s := range srcs {
+		if r := m.Recall(s); r < 0 || r > 1 {
+			t.Errorf("recall %v", r)
+		}
+		if q := m.FPR(s); q < 0 || q > 1 {
+			t.Errorf("fpr %v", q)
+		}
+	}
+	if m.Name() != "LTM" {
+		t.Error("name")
+	}
+}
+
+func TestLTMDeterministicForSeed(t *testing.T) {
+	d := dataset.Obama()
+	a := NewLTM(d, LTMOptions{Seed: 3})
+	b := NewLTM(d, LTMOptions{Seed: 3})
+	ids := obamaIDs(t, d)
+	sa, sb := a.Score(ids), b.Score(ids)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("LTM not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestNormalize01(t *testing.T) {
+	xs := []float64{-1, 0.5, 3}
+	normalize01(xs)
+	if xs[0] != 0 || xs[2] != 1 || xs[1] <= 0 || xs[1] >= 1 {
+		t.Errorf("normalize01 = %v", xs)
+	}
+	// Already in range: untouched.
+	ys := []float64{0.2, 0.8}
+	normalize01(ys)
+	if ys[0] != 0.2 || ys[1] != 0.8 {
+		t.Errorf("in-range slice modified: %v", ys)
+	}
+	// Constant out-of-range: clamped.
+	zs := []float64{2, 2}
+	normalize01(zs)
+	if zs[0] != 1 || zs[1] != 1 {
+		t.Errorf("constant slice: %v", zs)
+	}
+}

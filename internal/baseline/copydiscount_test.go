@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"testing"
+
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/quality"
+	"corrfuse/internal/triple"
+)
+
+// copiedSetup builds three copying sources and two independents.
+func copiedSetup(t *testing.T) (*quality.Estimator, *triple.Dataset) {
+	t.Helper()
+	spec := dataset.UniformSpec(5, 2000, 0.5, 0.65, 0.45, 17)
+	spec.Groups = []dataset.GroupSpec{
+		{Members: []int{0, 1, 2}, OnTrue: true, Strength: 0.85},
+		{Members: []int{0, 1, 2}, OnTrue: false, Strength: 0.85},
+	}
+	d, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := quality.NewEstimator(d, quality.Options{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est, d
+}
+
+func TestCopyDiscountDetectsCopiers(t *testing.T) {
+	est, _ := copiedSetup(t)
+	c := NewCopyDiscount(est, CopyDiscountOptions{})
+	// Copying pairs should have high copy probability; independent pairs
+	// near zero.
+	if p := c.CopyProbability(0, 1); p < 0.5 {
+		t.Errorf("copy probability(0,1) = %v, want > 0.5", p)
+	}
+	if p := c.CopyProbability(0, 2); p < 0.5 {
+		t.Errorf("copy probability(0,2) = %v, want > 0.5", p)
+	}
+	if p := c.CopyProbability(3, 4); p > 0.3 {
+		t.Errorf("copy probability(3,4) = %v, want ≈ 0", p)
+	}
+	if c.CopyProbability(0, 1) != c.CopyProbability(1, 0) {
+		t.Error("copy probability should be symmetric")
+	}
+}
+
+func TestCopyDiscountDiscountsCopiedVotes(t *testing.T) {
+	est, d := copiedSetup(t)
+	c := NewCopyDiscount(est, CopyDiscountOptions{})
+	// A triple provided by the three copiers should have roughly one
+	// effective vote; one provided by the two independents, roughly two.
+	var copiedID, indepID triple.TripleID = -1, -1
+	for i := 0; i < d.NumTriples(); i++ {
+		id := triple.TripleID(i)
+		prov := d.Providers(id)
+		if len(prov) == 3 && prov[0] == 0 && prov[1] == 1 && prov[2] == 2 && copiedID < 0 {
+			copiedID = id
+		}
+		if len(prov) == 2 && prov[0] == 3 && prov[1] == 4 && indepID < 0 {
+			indepID = id
+		}
+	}
+	if copiedID < 0 || indepID < 0 {
+		t.Skip("needed provider patterns not generated")
+	}
+	if v := c.effectiveVotes(copiedID); v > 2 {
+		t.Errorf("three copiers count as %v votes, want < 2", v)
+	}
+	if v := c.effectiveVotes(indepID); v < 1.5 {
+		t.Errorf("two independents count as %v votes, want ≈ 2", v)
+	}
+	if c.Name() != "CopyDiscount" {
+		t.Error("name")
+	}
+}
+
+func TestCopyDiscountScoreDecisions(t *testing.T) {
+	est, d := copiedSetup(t)
+	c := NewCopyDiscount(est, CopyDiscountOptions{AcceptThreshold: 0.4})
+	ids := make([]triple.TripleID, 0, d.NumTriples())
+	for i := 0; i < d.NumTriples(); i++ {
+		if len(d.Providers(triple.TripleID(i))) > 0 {
+			ids = append(ids, triple.TripleID(i))
+		}
+	}
+	scores := c.Score(ids)
+	decisions := c.Decisions(ids)
+	for i := range ids {
+		if scores[i] < 0 || scores[i] > 1 {
+			t.Fatalf("score %v out of range", scores[i])
+		}
+		if decisions[i] != (scores[i] >= 0.4) {
+			t.Fatalf("decision inconsistent with score at %d", i)
+		}
+	}
+}

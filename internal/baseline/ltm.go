@@ -1,0 +1,263 @@
+package baseline
+
+import (
+	"corrfuse/internal/stat"
+	"corrfuse/internal/triple"
+	"math"
+)
+
+// LTMOptions configures the Latent Truth Model baseline.
+type LTMOptions struct {
+	// Iterations is the number of Gibbs sweeps whose samples are
+	// averaged (default 10, matching the paper's "LTM (10 iter)").
+	Iterations int
+	// BurnIn sweeps are discarded before averaging (default 5).
+	BurnIn int
+	// Seed drives the sampler's RNG.
+	Seed int64
+	// Scope decides which non-providing sources generate a negative
+	// observation. Defaults to triple.ScopeGlobal{}.
+	Scope triple.Scope
+
+	// TruthPrior is the Beta-Bernoulli prior (β1, β0) on a triple being
+	// true. Default (0.5, 0.5).
+	TruthPriorTrue, TruthPriorFalse float64
+	// FPRPrior is the Beta prior (α01, α00) on a source claiming a false
+	// triple: α01 counts claims of false triples, α00 silences. The
+	// default (10, 90) — prior mean 0.1, as in the LTM paper — encodes
+	// the assumption that sources rarely assert false facts.
+	FPRPriorClaim, FPRPriorSilent float64
+	// RecallPrior is the Beta prior (α11, α10) on a source claiming a
+	// true triple. The default (50, 50) is agnostic.
+	RecallPriorClaim, RecallPriorSilent float64
+}
+
+func (o *LTMOptions) normalize() {
+	if o.Iterations <= 0 {
+		o.Iterations = 10
+	}
+	if o.BurnIn < 0 {
+		o.BurnIn = 0
+	} else if o.BurnIn == 0 {
+		o.BurnIn = 5
+	}
+	if o.Scope == nil {
+		o.Scope = triple.ScopeGlobal{}
+	}
+	if o.TruthPriorTrue <= 0 {
+		o.TruthPriorTrue = 0.5
+	}
+	if o.TruthPriorFalse <= 0 {
+		o.TruthPriorFalse = 0.5
+	}
+	if o.FPRPriorClaim <= 0 {
+		o.FPRPriorClaim = 10
+	}
+	if o.FPRPriorSilent <= 0 {
+		o.FPRPriorSilent = 90
+	}
+	if o.RecallPriorClaim <= 0 {
+		o.RecallPriorClaim = 50
+	}
+	if o.RecallPriorSilent <= 0 {
+		o.RecallPriorSilent = 50
+	}
+}
+
+// LTM implements the Latent Truth Model of Zhao et al. (PVLDB'12) with
+// collapsed Gibbs sampling. Each triple has a latent truth label; each
+// source has a latent sensitivity (recall) and false positive rate with Beta
+// priors. The sampler integrates the source parameters out and resamples
+// each truth label from its posterior given the current labels of all other
+// triples; the returned probability of a triple is the fraction of
+// post-burn-in sweeps in which its label was true.
+//
+// Differences from PrecRec highlighted in Section 3 of the SIGMOD'14 paper:
+// LTM's probabilities come from Beta-distribution assumptions about the data
+// generation process, and source quality is re-estimated jointly with the
+// labels rather than from training data. LTM assumes source independence.
+type LTM struct {
+	d    *triple.Dataset
+	opts LTMOptions
+	prob []float64
+	rec  []float64 // posterior mean sensitivity per source
+	fpr  []float64 // posterior mean FPR per source
+}
+
+// NewLTM runs the Gibbs sampler over all triples of d.
+func NewLTM(d *triple.Dataset, opts LTMOptions) *LTM {
+	opts.normalize()
+	m := &LTM{d: d, opts: opts, prob: make([]float64, d.NumTriples())}
+	m.run()
+	return m
+}
+
+// run executes the collapsed Gibbs sweeps.
+func (m *LTM) run() {
+	nT := m.d.NumTriples()
+	nS := m.d.NumSources()
+	rng := stat.NewRNG(m.opts.Seed)
+
+	// observation lists per triple: sources in scope, with claim bit.
+	type obs struct {
+		src   []triple.SourceID
+		claim []bool
+	}
+	observations := make([]obs, nT)
+	for i := 0; i < nT; i++ {
+		id := triple.TripleID(i)
+		var o obs
+		for s := 0; s < nS; s++ {
+			sid := triple.SourceID(s)
+			if m.d.Provides(sid, id) {
+				o.src = append(o.src, sid)
+				o.claim = append(o.claim, true)
+			} else if m.opts.Scope.InScope(m.d, sid, id) {
+				o.src = append(o.src, sid)
+				o.claim = append(o.claim, false)
+			}
+		}
+		observations[i] = o
+	}
+
+	// counts[s][z][o]: number of (triple, source) pairs where the triple
+	// currently has label z and source s's observation is o.
+	counts := make([][2][2]float64, nS)
+	z := make([]bool, nT)
+	// Initialize labels: claimed by any source → true with probability
+	// equal to provider fraction (a voting warm start).
+	for i := 0; i < nT; i++ {
+		frac := 0.0
+		if len(observations[i].src) > 0 {
+			pos := 0
+			for _, c := range observations[i].claim {
+				if c {
+					pos++
+				}
+			}
+			frac = float64(pos) / float64(len(observations[i].src))
+		}
+		z[i] = rng.Bernoulli(frac)
+		m.applyCounts(counts, observations[i].src, observations[i].claim, z[i], +1)
+	}
+
+	nTrueLabels := 0
+	for _, zi := range z {
+		if zi {
+			nTrueLabels++
+		}
+	}
+
+	total := m.opts.BurnIn + m.opts.Iterations
+	kept := 0
+	acc := make([]float64, nT)
+	for sweep := 0; sweep < total; sweep++ {
+		for i := 0; i < nT; i++ {
+			o := observations[i]
+			// Remove triple i from the counts.
+			m.applyCounts(counts, o.src, o.claim, z[i], -1)
+			if z[i] {
+				nTrueLabels--
+			}
+			// Collapsed posterior odds for z_i = 1 vs 0 in log space.
+			logOdds := 0.0
+			logOdds += logf(m.opts.TruthPriorTrue+float64(nTrueLabels)) -
+				logf(m.opts.TruthPriorFalse+float64(nT-1-nTrueLabels))
+			for j, s := range o.src {
+				c := 0
+				if o.claim[j] {
+					c = 1
+				}
+				// Predictive probability of observation c given z=1 (recall side).
+				a1c, a10 := m.opts.RecallPriorClaim, m.opts.RecallPriorSilent
+				num1 := counts[s][1][c] + betaParam(a1c, a10, c)
+				den1 := counts[s][1][0] + counts[s][1][1] + a1c + a10
+				// … and given z=0 (FPR side).
+				a0c, a00 := m.opts.FPRPriorClaim, m.opts.FPRPriorSilent
+				num0 := counts[s][0][c] + betaParam(a0c, a00, c)
+				den0 := counts[s][0][0] + counts[s][0][1] + a0c + a00
+				logOdds += logf(num1/den1) - logf(num0/den0)
+			}
+			z[i] = rng.Bernoulli(stat.Sigmoid(logOdds))
+			if z[i] {
+				nTrueLabels++
+			}
+			m.applyCounts(counts, o.src, o.claim, z[i], +1)
+		}
+		if sweep >= m.opts.BurnIn {
+			kept++
+			for i := range z {
+				if z[i] {
+					acc[i]++
+				}
+			}
+		}
+	}
+	for i := range acc {
+		if kept > 0 {
+			m.prob[i] = acc[i] / float64(kept)
+		}
+	}
+
+	// Posterior-mean source quality from the final counts.
+	m.rec = make([]float64, nS)
+	m.fpr = make([]float64, nS)
+	for s := 0; s < nS; s++ {
+		m.rec[s] = (counts[s][1][1] + m.opts.RecallPriorClaim) /
+			(counts[s][1][0] + counts[s][1][1] + m.opts.RecallPriorClaim + m.opts.RecallPriorSilent)
+		m.fpr[s] = (counts[s][0][1] + m.opts.FPRPriorClaim) /
+			(counts[s][0][0] + counts[s][0][1] + m.opts.FPRPriorClaim + m.opts.FPRPriorSilent)
+	}
+}
+
+// betaParam selects the prior pseudo-count matching observation c.
+func betaParam(claim, silent float64, c int) float64 {
+	if c == 1 {
+		return claim
+	}
+	return silent
+}
+
+func logf(v float64) float64 {
+	if v <= 0 {
+		v = 1e-300
+	}
+	return math.Log(v)
+}
+
+// applyCounts adds delta to the (z, o) cell of every source observing the
+// triple.
+func (m *LTM) applyCounts(counts [][2][2]float64, srcs []triple.SourceID, claims []bool, z bool, delta float64) {
+	zi := 0
+	if z {
+		zi = 1
+	}
+	for j, s := range srcs {
+		oi := 0
+		if claims[j] {
+			oi = 1
+		}
+		counts[s][zi][oi] += delta
+	}
+}
+
+// Name implements the scorer convention.
+func (m *LTM) Name() string { return "LTM" }
+
+// Probability returns the posterior probability the triple is true.
+func (m *LTM) Probability(id triple.TripleID) float64 { return m.prob[id] }
+
+// Score implements the scorer convention.
+func (m *LTM) Score(ids []triple.TripleID) []float64 {
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = m.prob[id]
+	}
+	return out
+}
+
+// Recall returns the posterior-mean sensitivity of a source.
+func (m *LTM) Recall(s triple.SourceID) float64 { return m.rec[s] }
+
+// FPR returns the posterior-mean false positive rate of a source.
+func (m *LTM) FPR(s triple.SourceID) float64 { return m.fpr[s] }

@@ -1,0 +1,98 @@
+// Package baseline implements the comparison methods of Section 5: Union-K
+// voting, 3-Estimates (Galland et al., WSDM'10) and the Latent Truth Model
+// (Zhao et al., PVLDB'12), all adapted to the independent-triple, open-world
+// semantics of the paper.
+package baseline
+
+import (
+	"fmt"
+
+	"corrfuse/internal/triple"
+)
+
+// UnionK accepts a triple as true when at least K% of the sources provide
+// it. Union-50 is majority voting. Its ranking score is the fraction of
+// sources providing the triple (identical for every K, as noted in §5.1).
+type UnionK struct {
+	d     *triple.Dataset
+	k     int
+	scope triple.Scope
+}
+
+// NewUnionK builds a Union-K voter with global scope. K must be in (0, 100].
+func NewUnionK(d *triple.Dataset, k int) (*UnionK, error) {
+	return NewUnionKScoped(d, k, triple.ScopeGlobal{})
+}
+
+// NewUnionKScoped builds a Union-K voter whose electorate for each triple is
+// the set of in-scope sources (e.g. with ScopeSubject, the sources providing
+// any data about the triple's subject). This is the natural reading for
+// datasets with many narrow sources, where no triple could ever reach K% of
+// all sources.
+func NewUnionKScoped(d *triple.Dataset, k int, scope triple.Scope) (*UnionK, error) {
+	if k <= 0 || k > 100 {
+		return nil, fmt.Errorf("baseline: Union-K requires K in (0,100], got %d", k)
+	}
+	if scope == nil {
+		scope = triple.ScopeGlobal{}
+	}
+	return &UnionK{d: d, k: k, scope: scope}, nil
+}
+
+// electorate returns the number of in-scope sources for a triple.
+func (u *UnionK) electorate(id triple.TripleID) int {
+	if _, ok := u.scope.(triple.ScopeGlobal); ok {
+		return u.d.NumSources()
+	}
+	n := 0
+	for s := 0; s < u.d.NumSources(); s++ {
+		if u.scope.InScope(u.d, triple.SourceID(s), id) {
+			n++
+		}
+	}
+	return n
+}
+
+// Name implements the scorer convention.
+func (u *UnionK) Name() string { return fmt.Sprintf("Union-%d", u.k) }
+
+// K returns the acceptance percentage.
+func (u *UnionK) K() int { return u.k }
+
+// Providers returns the number of sources providing id.
+func (u *UnionK) Providers(id triple.TripleID) int { return len(u.d.Providers(id)) }
+
+// Decide reports whether the triple is accepted: at least K% of the in-scope
+// sources provide it (count·100 ≥ K·n).
+func (u *UnionK) Decide(id triple.TripleID) bool {
+	return u.Providers(id)*100 >= u.k*u.electorate(id)
+}
+
+// Probability returns the ranking score: the in-scope provider fraction. It
+// is not a calibrated probability; it is the quantity the paper ranks by for
+// the Union PR/ROC curves.
+func (u *UnionK) Probability(id triple.TripleID) float64 {
+	n := u.electorate(id)
+	if n == 0 {
+		return 0
+	}
+	return float64(u.Providers(id)) / float64(n)
+}
+
+// Score implements the scorer convention.
+func (u *UnionK) Score(ids []triple.TripleID) []float64 {
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = u.Probability(id)
+	}
+	return out
+}
+
+// Decisions returns the binary accept decisions for ids.
+func (u *UnionK) Decisions(ids []triple.TripleID) []bool {
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		out[i] = u.Decide(id)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/quality"
+	"corrfuse/internal/triple"
+)
+
+// buildCopied creates three replicated sources and two independents over
+// enough triples that the pairwise correlation is unambiguous.
+func buildCopied(t *testing.T) *quality.Estimator {
+	t.Helper()
+	spec := dataset.SyntheticSpec{
+		NumTrue:  300,
+		NumFalse: 300,
+		Seed:     42,
+		Sources: []dataset.SourceSpec{
+			{Precision: 0.7, Recall: 0.5},
+			{Precision: 0.7, Recall: 0.5},
+			{Precision: 0.7, Recall: 0.5},
+			{Precision: 0.7, Recall: 0.5},
+			{Precision: 0.7, Recall: 0.5},
+		},
+		Groups: []dataset.GroupSpec{
+			{Members: []int{0, 1, 2}, OnTrue: true, Strength: 0.9},
+			{Members: []int{0, 1, 2}, OnTrue: false, Strength: 0.9},
+		},
+	}
+	d, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := quality.NewEstimator(d, quality.Options{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestClusterFindsCopyGroup(t *testing.T) {
+	est := buildCopied(t)
+	clusters := Cluster(est, Options{})
+	// Expect {0,1,2} together and 3, 4 as singletons.
+	var big []triple.SourceID
+	singles := 0
+	for _, c := range clusters {
+		if len(c) > 1 {
+			if big != nil {
+				t.Fatalf("more than one multi-source cluster: %v", clusters)
+			}
+			big = c
+		} else {
+			singles++
+		}
+	}
+	if len(big) != 3 || singles != 2 {
+		t.Fatalf("clusters = %v, want {0,1,2} + 2 singletons", clusters)
+	}
+	want := map[triple.SourceID]bool{0: true, 1: true, 2: true}
+	for _, s := range big {
+		if !want[s] {
+			t.Errorf("unexpected member %d in the copy cluster", s)
+		}
+	}
+}
+
+func TestClusterIsPartition(t *testing.T) {
+	est := buildCopied(t)
+	clusters := Cluster(est, Options{})
+	seen := map[triple.SourceID]bool{}
+	total := 0
+	for _, c := range clusters {
+		for _, s := range c {
+			if seen[s] {
+				t.Fatalf("source %d in two clusters", s)
+			}
+			seen[s] = true
+			total++
+		}
+	}
+	if total != est.Dataset().NumSources() {
+		t.Errorf("partition covers %d of %d sources", total, est.Dataset().NumSources())
+	}
+}
+
+func TestMaxClusterSizeRespected(t *testing.T) {
+	est := buildCopied(t)
+	clusters := Cluster(est, Options{MaxClusterSize: 2})
+	for _, c := range clusters {
+		if len(c) > 2 {
+			t.Errorf("cluster %v exceeds max size 2", c)
+		}
+	}
+}
+
+func TestIndependentSourcesStaySingleton(t *testing.T) {
+	spec := dataset.UniformSpec(6, 600, 0.5, 0.7, 0.5, 99)
+	d, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := quality.NewEstimator(d, quality.Options{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := Cluster(est, Options{})
+	for _, c := range clusters {
+		if len(c) > 1 {
+			t.Errorf("independent sources clustered together: %v", c)
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	uf.union(0, 1)
+	uf.union(3, 4)
+	if uf.find(0) != uf.find(1) || uf.find(3) != uf.find(4) {
+		t.Error("union failed")
+	}
+	if uf.find(0) == uf.find(3) {
+		t.Error("disjoint sets merged")
+	}
+	uf.union(1, 3)
+	if uf.find(0) != uf.find(4) {
+		t.Error("transitive union failed")
+	}
+	if uf.size[uf.find(0)] != 4 {
+		t.Errorf("size = %d, want 4", uf.size[uf.find(0)])
+	}
+}

@@ -1,0 +1,221 @@
+// Package core implements the paper's fusion algorithms: the independent
+// Bayesian model PrecRec (Theorem 3.1), the exact correlation-aware model
+// (Theorem 4.2), the linear-time aggressive approximation (Definition 4.5),
+// and the elastic approximation (Algorithm 1).
+//
+// Every algorithm turns the observation pattern of a triple t — which sources
+// provide it (St) and which in-scope sources do not (St̄) — into the ratio
+// µ = Pr(Ot|t) / Pr(Ot|¬t), and then into the correctness probability
+//
+//	Pr(t | Ot) = 1 / (1 + (1−α)/α · 1/µ).
+//
+// The correlation-aware algorithms may factor the source set into clusters
+// (independence assumed across clusters, exact or approximate treatment
+// within each cluster), which is how the paper scales to the BOOK dataset.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"corrfuse/internal/quality"
+	"corrfuse/internal/stat"
+	"corrfuse/internal/triple"
+)
+
+// probEps is the clamp applied to rates before they enter ratios and
+// logarithms, so estimated rates of exactly 0 or 1 cannot produce NaNs.
+const probEps = 1e-12
+
+// sumEps is the floor applied to inclusion–exclusion sums: with estimated
+// joint parameters the alternating sums can come out marginally negative.
+const sumEps = 1e-15
+
+// Config carries the inputs shared by all fusion algorithms.
+type Config struct {
+	// Dataset supplies the observation matrix.
+	Dataset *triple.Dataset
+	// Params supplies α, per-source and joint quality parameters.
+	Params quality.Params
+	// Scope decides which non-providing sources count as evidence
+	// against a triple. Defaults to triple.ScopeGlobal{}.
+	Scope triple.Scope
+	// Clusters partitions the sources for the correlation-aware
+	// algorithms: sources in different clusters are treated as
+	// independent. Nil means a single cluster containing every source.
+	// PrecRec ignores clusters (it assumes full independence).
+	Clusters [][]triple.SourceID
+}
+
+// normalize fills defaults and validates the cluster partition.
+func (c *Config) normalize() error {
+	if c.Dataset == nil {
+		return fmt.Errorf("core: Config.Dataset is nil")
+	}
+	if c.Params == nil {
+		return fmt.Errorf("core: Config.Params is nil")
+	}
+	if c.Scope == nil {
+		c.Scope = triple.ScopeGlobal{}
+	}
+	n := c.Dataset.NumSources()
+	if c.Clusters == nil {
+		all := make([]triple.SourceID, n)
+		for i := range all {
+			all[i] = triple.SourceID(i)
+		}
+		c.Clusters = [][]triple.SourceID{all}
+		return nil
+	}
+	seen := make([]bool, n)
+	for ci, cl := range c.Clusters {
+		if len(cl) == 0 {
+			return fmt.Errorf("core: cluster %d is empty", ci)
+		}
+		for _, s := range cl {
+			if int(s) < 0 || int(s) >= n {
+				return fmt.Errorf("core: cluster %d contains unknown source %d", ci, s)
+			}
+			if seen[s] {
+				return fmt.Errorf("core: source %d appears in two clusters", s)
+			}
+			seen[s] = true
+		}
+	}
+	for s, ok := range seen {
+		if !ok {
+			return fmt.Errorf("core: source %d missing from cluster partition", s)
+		}
+	}
+	return nil
+}
+
+// Algorithm scores triples with correctness probabilities.
+type Algorithm interface {
+	// Name identifies the algorithm (for tables and logs).
+	Name() string
+	// Probability returns Pr(t | Ot) for one triple.
+	Probability(id triple.TripleID) float64
+	// Score returns Pr(t | Ot) for each listed triple.
+	Score(ids []triple.TripleID) []float64
+}
+
+// muToProb converts µ into Pr(t|Ot) = 1/(1 + (1−α)/α · 1/µ) working through
+// the log-odds to stay stable for extreme µ.
+func muToProb(alpha, mu float64) float64 {
+	if mu <= 0 {
+		return 0
+	}
+	if math.IsInf(mu, 1) {
+		return 1
+	}
+	return stat.Sigmoid(stat.Logit(alpha) + math.Log(mu))
+}
+
+// pattern captures, for one cluster, which members provide a triple and
+// which members are in scope. It is the memoization key for per-cluster µ.
+type pattern struct {
+	providers stat.Set64
+	inScope   stat.Set64
+}
+
+// clusterView precomputes the local indexing of one cluster.
+type clusterView struct {
+	members []triple.SourceID
+	// local[s] is the local index of global source s, or -1.
+	local map[triple.SourceID]int
+
+	mu    sync.Mutex
+	cache map[pattern]float64
+}
+
+func newClusterView(members []triple.SourceID) *clusterView {
+	cv := &clusterView{
+		members: members,
+		local:   make(map[triple.SourceID]int, len(members)),
+		cache:   make(map[pattern]float64),
+	}
+	for i, s := range members {
+		cv.local[s] = i
+	}
+	return cv
+}
+
+// patternFor computes the observation pattern of triple id within the
+// cluster under the given scope.
+func (cv *clusterView) patternFor(d *triple.Dataset, sc triple.Scope, id triple.TripleID) pattern {
+	var p pattern
+	for i, s := range cv.members {
+		if d.Provides(s, id) {
+			p.providers = p.providers.Add(i)
+			p.inScope = p.inScope.Add(i)
+		} else if sc.InScope(d, s, id) {
+			p.inScope = p.inScope.Add(i)
+		}
+	}
+	return p
+}
+
+// muCached returns the memoized µ for a pattern, computing it with f on miss.
+func (cv *clusterView) muCached(p pattern, f func(pattern) float64) float64 {
+	cv.mu.Lock()
+	v, ok := cv.cache[p]
+	cv.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = f(p)
+	cv.mu.Lock()
+	cv.cache[p] = v
+	cv.mu.Unlock()
+	return v
+}
+
+// subsetIDs converts a local-index set into global source IDs.
+func (cv *clusterView) subsetIDs(s stat.Set64) []triple.SourceID {
+	elems := s.Elems()
+	out := make([]triple.SourceID, len(elems))
+	for i, e := range elems {
+		out[i] = cv.members[e]
+	}
+	return out
+}
+
+// clampRate bounds a probability estimate away from 0 and 1.
+func clampRate(v float64) float64 { return stat.Clamp(v, probEps, 1-probEps) }
+
+// jointRecallOf returns the joint recall of a local subset, with r_∅ = 1 and
+// an independence-product fallback when the parameter has no support.
+func jointRecallOf(p quality.Params, cv *clusterView, s stat.Set64) float64 {
+	if s.Empty() {
+		return 1
+	}
+	ids := cv.subsetIDs(s)
+	if r, ok := p.JointRecall(ids); ok {
+		return r
+	}
+	return quality.IndepJointRecall(p, ids)
+}
+
+// jointFPROf returns the joint FPR of a local subset, with q_∅ = 1 and an
+// independence-product fallback when the parameter has no support.
+func jointFPROf(p quality.Params, cv *clusterView, s stat.Set64) float64 {
+	if s.Empty() {
+		return 1
+	}
+	ids := cv.subsetIDs(s)
+	if q, ok := p.JointFPR(ids); ok {
+		return q
+	}
+	return quality.IndepJointFPR(p, ids)
+}
+
+// scoreAll runs Probability over ids.
+func scoreAll(a Algorithm, ids []triple.TripleID) []float64 {
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = a.Probability(id)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"corrfuse/internal/quality"
+	"corrfuse/internal/stat"
+	"corrfuse/internal/triple"
+)
+
+// Elastic is Algorithm 1 of the paper: it starts from the aggressive
+// approximation with the level-0 adjustment already applied,
+//
+//	R ← r_{St} · ∏_{Si∈St̄} (1 − C⁺ᵢrᵢ)
+//	Q ← q_{St} · ∏_{Si∈St̄} (1 − C⁻ᵢqᵢ)
+//
+// and for each level l = 1..λ corrects every degree-(|St|+l) term with its
+// exact coefficient:
+//
+//	R += (−1)^l · ( r_{St∪S*} − r_{St}·∏_{Si∈S*} C⁺ᵢrᵢ )   for all S*⊆St̄, |S*|=l
+//	Q += (−1)^l · ( q_{St∪S*} − q_{St}·∏_{Si∈S*} C⁻ᵢqᵢ )
+//
+// µ = R/Q. At λ = |St̄| every coefficient is exact and the result equals the
+// exact solution; the cost and the number of required joint parameters are
+// O(n^λ) per triple (Proposition 4.11).
+type Elastic struct {
+	cfg    Config
+	level  int
+	views  []*clusterView
+	cplus  [][]float64
+	cminus [][]float64
+}
+
+// NewElastic builds the elastic approximation at adjustment level λ ≥ 0.
+// Level 0 applies only the initialization of Algorithm 1 (lines 1–2).
+func NewElastic(cfg Config, level int) (*Elastic, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if level < 0 {
+		return nil, fmt.Errorf("core: elastic level must be >= 0, got %d", level)
+	}
+	e := &Elastic{cfg: cfg, level: level}
+	for _, cl := range cfg.Clusters {
+		e.views = append(e.views, newClusterView(cl))
+		cp, cm := quality.AggressiveFactors(cfg.Params, cl)
+		e.cplus = append(e.cplus, cp)
+		e.cminus = append(e.cminus, cm)
+	}
+	return e, nil
+}
+
+// Name implements Algorithm.
+func (a *Elastic) Name() string { return fmt.Sprintf("PrecRecCorr-Lvl%d", a.level) }
+
+// Level returns the adjustment level λ.
+func (a *Elastic) Level() int { return a.level }
+
+// clusterMu evaluates Algorithm 1 within one cluster for one pattern.
+func (a *Elastic) clusterMu(ci int, p pattern) float64 {
+	cv := a.views[ci]
+	params := a.cfg.Params
+	providers := p.providers
+	nonProviders := p.inScope.Minus(p.providers)
+
+	rSt := jointRecallOf(params, cv, providers)
+	qSt := jointFPROf(params, cv, providers)
+
+	// Lines 1–2: aggressive form with level-0 adjustment.
+	var rAcc, qAcc stat.KahanSum
+	rInit, qInit := rSt, qSt
+	for _, i := range nonProviders.Elems() {
+		s := cv.members[i]
+		rInit *= 1 - stat.Clamp(a.cplus[ci][i]*params.Recall(s), 0, 1-probEps)
+		qInit *= 1 - stat.Clamp(a.cminus[ci][i]*params.FPR(s), 0, 1-probEps)
+	}
+	rAcc.Add(rInit)
+	qAcc.Add(qInit)
+
+	// Lines 3–7: per-level corrections.
+	maxLevel := a.level
+	if maxLevel > nonProviders.Len() {
+		maxLevel = nonProviders.Len()
+	}
+	for l := 1; l <= maxLevel; l++ {
+		sign := 1.0
+		if l%2 == 1 {
+			sign = -1
+		}
+		nonProviders.SubsetsOfSize(l, func(sub stat.Set64) bool {
+			set := providers.Union(sub)
+			exactR := jointRecallOf(params, cv, set)
+			exactQ := jointFPROf(params, cv, set)
+			approxR, approxQ := rSt, qSt
+			for _, i := range sub.Elems() {
+				s := cv.members[i]
+				approxR *= a.cplus[ci][i] * params.Recall(s)
+				approxQ *= a.cminus[ci][i] * params.FPR(s)
+			}
+			rAcc.Add(sign * (exactR - approxR))
+			qAcc.Add(sign * (exactQ - approxQ))
+			return true
+		})
+	}
+
+	r, q := rAcc.Sum(), qAcc.Sum()
+	if r < sumEps {
+		r = sumEps
+	}
+	if q < sumEps {
+		q = sumEps
+	}
+	return r / q
+}
+
+// Mu returns the elastic µ for a triple.
+func (a *Elastic) Mu(id triple.TripleID) float64 {
+	mu := 1.0
+	for ci, cv := range a.views {
+		pat := cv.patternFor(a.cfg.Dataset, a.cfg.Scope, id)
+		c := ci
+		mu *= cv.muCached(pat, func(p pattern) float64 { return a.clusterMu(c, p) })
+	}
+	return mu
+}
+
+// Probability implements Algorithm.
+func (a *Elastic) Probability(id triple.TripleID) float64 {
+	return muToProb(a.cfg.Params.Alpha(), a.Mu(id))
+}
+
+// Score implements Algorithm.
+func (a *Elastic) Score(ids []triple.TripleID) []float64 { return scoreAll(a, ids) }

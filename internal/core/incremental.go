@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"corrfuse/internal/quality"
+	"corrfuse/internal/stat"
+	"corrfuse/internal/triple"
+)
+
+// Incremental maintains PrecRec correctness probabilities under a stream of
+// observations, in the spirit of online data fusion (Liu et al., PVLDB'11,
+// which the paper cites as related work): each arriving (source, triple)
+// claim updates the triple's log-odds in O(1), so current probabilities are
+// queryable at any point without rescoring the whole dataset.
+//
+// Under the independence model the update is exact: a new provider Si moves
+// the triple's contribution of Si from the non-provider factor
+// (1−ri)/(1−qi) (if Si was in scope) to the provider factor ri/qi.
+// Correlation-aware maintenance would need the full pattern and is not
+// incremental; use the batch algorithms for that.
+type Incremental struct {
+	params quality.Params
+	// scopeAll reports whether non-providing sources count by default.
+	// Incremental streams have no subject index, so scope is either
+	// global (every registered source is accountable for every triple)
+	// or provider-only.
+	penalizeSilence bool
+
+	nSources int
+	// baseline log-odds of a triple no source provides: prior + every
+	// source silent (if penalizeSilence).
+	baseLogOdds float64
+	// silentContribution[s] = log((1−r)/(1−q)); providerDelta[s] converts
+	// a silent source into a provider.
+	providerDelta []float64
+
+	logOdds   map[triple.Triple]float64
+	providers map[triple.Triple]map[triple.SourceID]bool
+}
+
+// NewIncremental builds an online fuser over nSources sources whose quality
+// is given by params. penalizeSilence selects global scope semantics (every
+// source not yet providing a triple counts against it).
+func NewIncremental(params quality.Params, nSources int, penalizeSilence bool) (*Incremental, error) {
+	if params == nil {
+		return nil, fmt.Errorf("core: nil params")
+	}
+	if nSources <= 0 {
+		return nil, fmt.Errorf("core: need at least one source")
+	}
+	inc := &Incremental{
+		params:          params,
+		penalizeSilence: penalizeSilence,
+		nSources:        nSources,
+		providerDelta:   make([]float64, nSources),
+		logOdds:         make(map[triple.Triple]float64),
+		providers:       make(map[triple.Triple]map[triple.SourceID]bool),
+	}
+	inc.baseLogOdds = stat.Logit(params.Alpha())
+	for s := 0; s < nSources; s++ {
+		sid := triple.SourceID(s)
+		r := stat.Clamp(params.Recall(sid), probEps, 1-probEps)
+		q := stat.Clamp(params.FPR(sid), probEps, 1-probEps)
+		provide := math.Log(r) - math.Log(q)
+		silent := math.Log(1-r) - math.Log(1-q)
+		if penalizeSilence {
+			inc.baseLogOdds += silent
+			inc.providerDelta[s] = provide - silent
+		} else {
+			inc.providerDelta[s] = provide
+		}
+	}
+	return inc, nil
+}
+
+// Observe records that source s provides t, updating the triple's odds in
+// O(1). Duplicate observations are idempotent. It returns the updated
+// probability.
+func (inc *Incremental) Observe(s triple.SourceID, t Triple) (float64, error) {
+	if int(s) < 0 || int(s) >= inc.nSources {
+		return 0, fmt.Errorf("core: source %d out of range", s)
+	}
+	provs, ok := inc.providers[t]
+	if !ok {
+		provs = make(map[triple.SourceID]bool)
+		inc.providers[t] = provs
+		inc.logOdds[t] = inc.baseLogOdds
+	}
+	if !provs[s] {
+		provs[s] = true
+		inc.logOdds[t] += inc.providerDelta[s]
+	}
+	return stat.Sigmoid(inc.logOdds[t]), nil
+}
+
+// Triple aliases the data model's triple for the incremental API.
+type Triple = triple.Triple
+
+// Probability returns the current Pr(t | observations so far); ok is false
+// for triples never observed.
+func (inc *Incremental) Probability(t Triple) (p float64, ok bool) {
+	lo, ok := inc.logOdds[t]
+	if !ok {
+		return 0, false
+	}
+	return stat.Sigmoid(lo), true
+}
+
+// Providers returns how many sources currently provide t.
+func (inc *Incremental) Providers(t Triple) int { return len(inc.providers[t]) }
+
+// Len returns the number of distinct triples observed.
+func (inc *Incremental) Len() int { return len(inc.logOdds) }
+
+// Accepted returns all triples whose current probability exceeds 0.5.
+func (inc *Incremental) Accepted() []Triple {
+	var out []Triple
+	for t, lo := range inc.logOdds {
+		if stat.Sigmoid(lo) > 0.5 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"corrfuse/internal/triple"
+)
+
+// ParallelScore scores ids with the given number of worker goroutines
+// (0 or negative means GOMAXPROCS). The paper notes that PrecRecCorr
+// parallelizes well because the per-pattern terms are independent; all
+// algorithms in this package are safe for concurrent scoring (the pattern
+// memo and the quality estimator's joint-statistic memo are mutex-guarded),
+// so the speedup is close to linear once the pattern cache is warm.
+func ParallelScore(a Algorithm, ids []triple.TripleID, workers int) []float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(ids) < 2*workers {
+		return a.Score(ids)
+	}
+	out := make([]float64, len(ids))
+	var next int
+	var mu sync.Mutex
+	const chunk = 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				lo := next
+				next += chunk
+				mu.Unlock()
+				if lo >= len(ids) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(ids) {
+					hi = len(ids)
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = a.Probability(ids[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/quality"
+	"corrfuse/internal/triple"
+)
+
+// TestParallelScoreMatchesSerial checks that concurrent scoring produces the
+// same results as serial scoring on every algorithm. Run with -race to
+// exercise the memo locking.
+func TestParallelScoreMatchesSerial(t *testing.T) {
+	d, err := dataset.SimulatedReVerb(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := quality.NewEstimator(d, quality.Options{Alpha: 0.26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []triple.TripleID
+	for i := 0; i < d.NumTriples(); i++ {
+		if len(d.Providers(triple.TripleID(i))) > 0 {
+			ids = append(ids, triple.TripleID(i))
+		}
+	}
+	cfg := Config{Dataset: d, Params: est}
+	builders := []func() (Algorithm, error){
+		func() (Algorithm, error) { return NewPrecRec(cfg) },
+		func() (Algorithm, error) { return NewExact(cfg) },
+		func() (Algorithm, error) { return NewAggressive(cfg) },
+		func() (Algorithm, error) { return NewElastic(cfg, 2) },
+	}
+	for _, build := range builders {
+		alg, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := alg.Score(ids)
+		// Fresh instance so the parallel run populates a cold cache.
+		alg2, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ParallelScore(alg2, ids, 8)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: parallel[%d] = %v, serial = %v", alg.Name(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParallelScoreSmallInput(t *testing.T) {
+	d, err := dataset.SimulatedRestaurant(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := quality.NewEstimator(d, quality.Options{Alpha: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPrecRec(Config{Dataset: d, Params: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []triple.TripleID{0, 1, 2}
+	if got := ParallelScore(pr, ids, 16); len(got) != 3 {
+		t.Fatal("small input should fall back to serial")
+	}
+	if got := ParallelScore(pr, nil, 4); len(got) != 0 {
+		t.Fatal("empty input")
+	}
+}

@@ -1,0 +1,179 @@
+// Package crowd simulates the crowdsourced labeling process the paper relies
+// on for training data (§3.2: "crowdsourcing platforms, such as Amazon
+// Mechanical Turk, greatly facilitate the labeling process"; the RESTAURANT
+// gold standard is the majority vote of 10 Mechanical Turk responses per
+// triple). Workers with heterogeneous accuracies answer true/false labeling
+// tasks; per-triple responses are aggregated by majority vote, yielding a
+// training set whose noise level is controlled by worker quality and
+// redundancy.
+package crowd
+
+import (
+	"fmt"
+
+	"corrfuse/internal/stat"
+	"corrfuse/internal/triple"
+)
+
+// Worker is one annotator: it answers a labeling task correctly with
+// probability Accuracy.
+type Worker struct {
+	Name     string
+	Accuracy float64
+}
+
+// Config drives a labeling run.
+type Config struct {
+	// Workers is the annotator pool. Each task is answered by
+	// ResponsesPerTask workers sampled without replacement.
+	Workers []Worker
+	// ResponsesPerTask is the redundancy (the paper's RESTAURANT used 10).
+	ResponsesPerTask int
+	Seed             int64
+}
+
+// Response is one worker's answer for one triple.
+type Response struct {
+	Triple triple.Triple
+	Worker string
+	Answer bool // true = "the triple is correct"
+}
+
+// Result of a labeling run.
+type Result struct {
+	// Labels is the majority-vote label per labeled triple.
+	Labels map[triple.TripleID]triple.Label
+	// Responses is the raw answer log.
+	Responses []Response
+	// Disagreement counts triples whose vote was not unanimous.
+	Disagreement int
+}
+
+// Label simulates the annotation of the given triples of d. The true answer
+// of each task is d's gold label (which the simulation knows but the workers
+// only observe through their noisy accuracy); the output labels are the
+// majority votes. Ties break toward False (annotators are conservative).
+func Label(d *triple.Dataset, ids []triple.TripleID, cfg Config) (*Result, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("crowd: no workers")
+	}
+	k := cfg.ResponsesPerTask
+	if k <= 0 {
+		k = 10
+	}
+	if k > len(cfg.Workers) {
+		return nil, fmt.Errorf("crowd: redundancy %d exceeds pool of %d workers", k, len(cfg.Workers))
+	}
+	for i, w := range cfg.Workers {
+		if w.Accuracy < 0 || w.Accuracy > 1 {
+			return nil, fmt.Errorf("crowd: worker %d accuracy outside [0,1]", i)
+		}
+	}
+	rng := stat.NewRNG(cfg.Seed)
+	res := &Result{Labels: make(map[triple.TripleID]triple.Label, len(ids))}
+	for _, id := range ids {
+		gold := d.Label(id)
+		if gold == triple.Unknown {
+			continue
+		}
+		truth := gold == triple.True
+		votesTrue := 0
+		for _, wi := range rng.SampleWithoutReplacement(len(cfg.Workers), k) {
+			w := cfg.Workers[wi]
+			answer := truth
+			if !rng.Bernoulli(w.Accuracy) {
+				answer = !answer
+			}
+			if answer {
+				votesTrue++
+			}
+			name := w.Name
+			if name == "" {
+				name = fmt.Sprintf("worker-%d", wi)
+			}
+			res.Responses = append(res.Responses, Response{
+				Triple: d.Triple(id),
+				Worker: name,
+				Answer: answer,
+			})
+		}
+		if votesTrue != 0 && votesTrue != k {
+			res.Disagreement++
+		}
+		if votesTrue*2 > k {
+			res.Labels[id] = triple.True
+		} else {
+			res.Labels[id] = triple.False
+		}
+	}
+	return res, nil
+}
+
+// Apply writes the crowd labels into a copy of the dataset, replacing the
+// gold labels of the labeled subset — the realistic setting in which the
+// fusion pipeline only ever sees crowd labels. It returns the copy and the
+// labeled IDs (for use as quality.Options.Train).
+func Apply(d *triple.Dataset, res *Result) (*triple.Dataset, []triple.TripleID) {
+	// Remove gold labels outside the crowd-labeled subset by rebuilding:
+	// simpler and safer — label only what the crowd labeled. Every
+	// original triple is interned (even unprovided ones), so IDs of the
+	// copy cover the same universe.
+	out := triple.NewDataset()
+	for _, s := range d.Sources() {
+		out.AddSource(s.Name)
+	}
+	for i := 0; i < d.NumTriples(); i++ {
+		id := triple.TripleID(i)
+		out.SetLabel(d.Triple(id), triple.Unknown)
+		for _, s := range d.Providers(id) {
+			out.Observe(s, d.Triple(id))
+		}
+	}
+	var train []triple.TripleID
+	for id, l := range res.Labels {
+		nid := out.SetLabel(d.Triple(id), l)
+		train = append(train, nid)
+	}
+	return out, train
+}
+
+// UniformPool builds n workers with accuracies evenly spread across
+// [lo, hi].
+func UniformPool(n int, lo, hi float64) []Worker {
+	out := make([]Worker, n)
+	for i := range out {
+		frac := 0.5
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		out[i] = Worker{
+			Name:     fmt.Sprintf("worker-%02d", i),
+			Accuracy: lo + (hi-lo)*frac,
+		}
+	}
+	return out
+}
+
+// MajorityAccuracy returns the probability that a majority vote of k
+// independent workers with the given accuracy is correct — a quick design
+// aid for choosing redundancy.
+func MajorityAccuracy(accuracy float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	// Sum of binomial tail: P(X > k/2), X ~ Binomial(k, accuracy).
+	total := 0.0
+	for wins := k/2 + 1; wins <= k; wins++ {
+		total += stat.Binomial(k, wins) *
+			pow(accuracy, wins) * pow(1-accuracy, k-wins)
+	}
+	return total
+}
+
+func pow(b float64, e int) float64 {
+	out := 1.0
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}

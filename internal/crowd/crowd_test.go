@@ -1,0 +1,163 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/quality"
+	"corrfuse/internal/triple"
+)
+
+func TestLabelValidation(t *testing.T) {
+	d := dataset.Obama()
+	ids := d.Labeled()
+	if _, err := Label(d, ids, Config{}); err == nil {
+		t.Error("no workers should fail")
+	}
+	if _, err := Label(d, ids, Config{Workers: UniformPool(3, 0.8, 0.9), ResponsesPerTask: 10}); err == nil {
+		t.Error("redundancy beyond pool should fail")
+	}
+	if _, err := Label(d, ids, Config{Workers: []Worker{{Accuracy: 2}}, ResponsesPerTask: 1}); err == nil {
+		t.Error("invalid accuracy should fail")
+	}
+}
+
+func TestAccurateWorkersRecoverGold(t *testing.T) {
+	d := dataset.Obama()
+	ids := d.Labeled()
+	res, err := Label(d, ids, Config{
+		Workers:          UniformPool(15, 0.95, 0.99),
+		ResponsesPerTask: 11,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != len(ids) {
+		t.Fatalf("labeled %d of %d", len(res.Labels), len(ids))
+	}
+	for id, l := range res.Labels {
+		if l != d.Label(id) {
+			t.Errorf("triple %d mislabeled: crowd %v, gold %v", id, l, d.Label(id))
+		}
+	}
+	if len(res.Responses) != len(ids)*11 {
+		t.Errorf("responses = %d, want %d", len(res.Responses), len(ids)*11)
+	}
+}
+
+func TestNoisyWorkersDisagree(t *testing.T) {
+	d, err := dataset.SimulatedRestaurant(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := d.Labeled()
+	res, err := Label(d, ids, Config{
+		Workers:          UniformPool(20, 0.55, 0.75),
+		ResponsesPerTask: 10,
+		Seed:             2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disagreement == 0 {
+		t.Error("noisy workers should disagree on some tasks")
+	}
+	// Majority vote should still be mostly right.
+	correct := 0
+	for id, l := range res.Labels {
+		if l == d.Label(id) {
+			correct++
+		}
+	}
+	frac := float64(correct) / float64(len(res.Labels))
+	if frac < 0.75 {
+		t.Errorf("majority-vote accuracy = %v, want >= 0.75", frac)
+	}
+}
+
+func TestApplyBuildsTrainableDataset(t *testing.T) {
+	d, err := dataset.SimulatedRestaurant(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := d.Labeled()[:60]
+	res, err := Label(d, ids, Config{
+		Workers:          UniformPool(12, 0.8, 0.95),
+		ResponsesPerTask: 9,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowdD, train := Apply(d, res)
+	if len(train) != len(res.Labels) {
+		t.Fatalf("train = %d, want %d", len(train), len(res.Labels))
+	}
+	nt, nf := crowdD.CountLabels()
+	if nt+nf != len(res.Labels) {
+		t.Errorf("crowd dataset has %d labels, want %d (gold hidden)", nt+nf, len(res.Labels))
+	}
+	// The crowd-labeled dataset trains a quality estimator.
+	if _, err := quality.NewEstimator(crowdD, quality.Options{Alpha: 0.5, Train: train}); err != nil {
+		t.Fatalf("estimator on crowd labels: %v", err)
+	}
+	// Observation matrix preserved.
+	if crowdD.NumTriples() != d.NumTriples() || crowdD.NumSources() != d.NumSources() {
+		t.Error("Apply should preserve the observation matrix")
+	}
+}
+
+func TestMajorityAccuracy(t *testing.T) {
+	// Perfect workers: always correct.
+	if got := MajorityAccuracy(1, 5); got != 1 {
+		t.Errorf("MajorityAccuracy(1,5) = %v", got)
+	}
+	// Coin-flip workers with odd k: exactly 0.5.
+	if got := MajorityAccuracy(0.5, 5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("MajorityAccuracy(0.5,5) = %v", got)
+	}
+	// Redundancy amplifies accuracy (Condorcet).
+	one := MajorityAccuracy(0.7, 1)
+	nine := MajorityAccuracy(0.7, 9)
+	if nine <= one {
+		t.Errorf("redundancy should amplify: k=9 %v <= k=1 %v", nine, one)
+	}
+	if math.Abs(one-0.7) > 1e-9 {
+		t.Errorf("k=1 should equal worker accuracy, got %v", one)
+	}
+	if MajorityAccuracy(0.7, 0) != 0 {
+		t.Error("k=0 should be 0")
+	}
+}
+
+func TestUniformPool(t *testing.T) {
+	pool := UniformPool(5, 0.6, 0.9)
+	if len(pool) != 5 {
+		t.Fatal("pool size")
+	}
+	if pool[0].Accuracy != 0.6 || pool[4].Accuracy != 0.9 {
+		t.Errorf("endpoints: %v, %v", pool[0].Accuracy, pool[4].Accuracy)
+	}
+	single := UniformPool(1, 0.6, 0.9)
+	if single[0].Accuracy != 0.75 {
+		t.Errorf("singleton pool accuracy = %v, want midpoint", single[0].Accuracy)
+	}
+}
+
+func TestLabelSkipsUnlabeled(t *testing.T) {
+	d := triple.NewDataset()
+	s := d.AddSource("A")
+	id := d.Observe(s, triple.Triple{Subject: "e", Predicate: "p", Object: "v"})
+	res, err := Label(d, []triple.TripleID{id}, Config{
+		Workers:          UniformPool(3, 0.9, 0.9),
+		ResponsesPerTask: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 0 {
+		t.Error("unlabeled triples cannot be crowd-labeled (no ground truth to simulate)")
+	}
+}

@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"fmt"
+
+	"corrfuse/internal/stat"
+	"corrfuse/internal/triple"
+)
+
+// EntitySourceSpec configures one source of an entity-centric generation
+// run: the source covers an entity (lists a book, knows a restaurant) with
+// probability Coverage, and each claim it makes about a covered entity is a
+// correct value with probability Accuracy.
+type EntitySourceSpec struct {
+	Name     string
+	Coverage float64
+	Accuracy float64
+	// ClaimsPerEntity is the mean number of claims for a covered entity
+	// (at least 1; fractional parts are sampled). Default 1.
+	ClaimsPerEntity float64
+}
+
+// EntityGroupSpec declares a copying group: with probability Strength a
+// member mirrors the group's shared behaviour for an entity — the same
+// coverage decision and the same value picks — instead of acting
+// independently. OnTrue narrows the copying to correct picks only (shared
+// extraction patterns); otherwise the group also copies mistakes, the
+// classic copying scenario of the paper.
+type EntityGroupSpec struct {
+	Members  []int
+	Strength float64
+	OnTrue   bool
+}
+
+// EntitySpec configures entity-centric generation: a world of entities, each
+// with a few correct values and a pool of plausible wrong values, and
+// sources that cover entities and claim values. This models the BOOK-style
+// scenario where several triples share a subject, so subject-scoped fusion
+// has real negative evidence.
+type EntitySpec struct {
+	NumEntities int
+	// TruePerEntity is the number of correct values per entity (authors
+	// of a book). FalsePerEntity sizes the pool of wrong candidates.
+	TruePerEntity, FalsePerEntity int
+	Predicate                     string
+	Sources                       []EntitySourceSpec
+	Groups                        []EntityGroupSpec
+	Seed                          int64
+	SubjectPrefix                 string
+}
+
+// GenerateEntities builds a dataset from an EntitySpec. All correct values
+// are labeled True (whether provided or not); wrong values are labeled False
+// and only interned when some source provides them, mirroring how gold
+// standards for real datasets only contain provided mistakes.
+func GenerateEntities(spec EntitySpec) (*triple.Dataset, error) {
+	if spec.NumEntities <= 0 || spec.TruePerEntity <= 0 || spec.FalsePerEntity <= 0 {
+		return nil, fmt.Errorf("dataset: entity spec needs positive entity/value counts")
+	}
+	if len(spec.Sources) == 0 {
+		return nil, fmt.Errorf("dataset: no sources")
+	}
+	prefix := spec.SubjectPrefix
+	if prefix == "" {
+		prefix = "entity"
+	}
+	pred := spec.Predicate
+	if pred == "" {
+		pred = "value"
+	}
+	nS := len(spec.Sources)
+	memberGroup := make([]int, nS) // group index + 1; 0 = none
+	for gi, g := range spec.Groups {
+		if g.Strength < 0 || g.Strength > 1 {
+			return nil, fmt.Errorf("dataset: group %d strength outside [0,1]", gi)
+		}
+		for _, m := range g.Members {
+			if m < 0 || m >= nS {
+				return nil, fmt.Errorf("dataset: group %d member %d out of range", gi, m)
+			}
+			if memberGroup[m] != 0 {
+				return nil, fmt.Errorf("dataset: source %d in two groups", m)
+			}
+			memberGroup[m] = gi + 1
+		}
+	}
+
+	rng := stat.NewRNG(spec.Seed)
+	d := triple.NewDataset()
+	ids := make([]triple.SourceID, nS)
+	for i, s := range spec.Sources {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("S%d", i+1)
+		}
+		if s.Coverage < 0 || s.Coverage > 1 || s.Accuracy < 0 || s.Accuracy > 1 {
+			return nil, fmt.Errorf("dataset: source %d coverage/accuracy outside [0,1]", i)
+		}
+		ids[i] = d.AddSource(name)
+	}
+
+	trueTriple := func(e, v int) triple.Triple {
+		return triple.Triple{
+			Subject:   fmt.Sprintf("%s-%05d", prefix, e),
+			Predicate: pred,
+			Object:    fmt.Sprintf("correct-%d", v),
+		}
+	}
+	falseTriple := func(e, v int) triple.Triple {
+		return triple.Triple{
+			Subject:   fmt.Sprintf("%s-%05d", prefix, e),
+			Predicate: pred,
+			Object:    fmt.Sprintf("wrong-%d", v),
+		}
+	}
+
+	// pick draws one claim: a correct value with probability acc, else a
+	// wrong one.
+	type claim struct {
+		correct bool
+		value   int
+	}
+	pick := func(acc float64) claim {
+		if rng.Bernoulli(acc) {
+			return claim{correct: true, value: rng.Intn(spec.TruePerEntity)}
+		}
+		return claim{correct: false, value: rng.Intn(spec.FalsePerEntity)}
+	}
+
+	claimCount := func(mean float64) int {
+		if mean <= 1 {
+			return 1
+		}
+		n := int(mean)
+		if rng.Bernoulli(mean - float64(n)) {
+			n++
+		}
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	for e := 0; e < spec.NumEntities; e++ {
+		for v := 0; v < spec.TruePerEntity; v++ {
+			d.SetLabel(trueTriple(e, v), triple.True)
+		}
+		// Shared behaviour per group for this entity.
+		type groupDraw struct {
+			covered bool
+			claims  []claim
+		}
+		draws := make([]groupDraw, len(spec.Groups))
+		for gi, g := range spec.Groups {
+			// The group's latent prototype behaves like an average member.
+			var cov, acc, cpe float64
+			for _, m := range g.Members {
+				cov += spec.Sources[m].Coverage
+				acc += spec.Sources[m].Accuracy
+				cpe += spec.Sources[m].ClaimsPerEntity
+			}
+			n := float64(len(g.Members))
+			gd := groupDraw{covered: rng.Bernoulli(cov / n)}
+			if gd.covered {
+				for c := claimCount(cpe / n); c > 0; c-- {
+					gd.claims = append(gd.claims, pick(acc/n))
+				}
+			}
+			draws[gi] = gd
+		}
+		for i, src := range spec.Sources {
+			var claims []claim
+			gi := memberGroup[i]
+			follows := gi != 0 && rng.Bernoulli(spec.Groups[gi-1].Strength)
+			switch {
+			case follows && !spec.Groups[gi-1].OnTrue:
+				// Full copying: coverage and every pick mirrored.
+				if !draws[gi-1].covered {
+					continue
+				}
+				claims = draws[gi-1].claims
+			case follows && spec.Groups[gi-1].OnTrue:
+				// Correlated on true picks only: own coverage and
+				// mistakes, shared correct picks.
+				if !rng.Bernoulli(src.Coverage) {
+					continue
+				}
+				for c := claimCount(src.ClaimsPerEntity); c > 0; c-- {
+					cl := pick(src.Accuracy)
+					if cl.correct {
+						// Mirror a correct group pick when one exists.
+						for _, gcl := range draws[gi-1].claims {
+							if gcl.correct {
+								cl = gcl
+								break
+							}
+						}
+					}
+					claims = append(claims, cl)
+				}
+			default:
+				if !rng.Bernoulli(src.Coverage) {
+					continue
+				}
+				for c := claimCount(src.ClaimsPerEntity); c > 0; c-- {
+					claims = append(claims, pick(src.Accuracy))
+				}
+			}
+			for _, cl := range claims {
+				var t triple.Triple
+				if cl.correct {
+					t = trueTriple(e, cl.value)
+				} else {
+					t = falseTriple(e, cl.value)
+					d.SetLabel(t, triple.False)
+				}
+				d.Observe(ids[i], t)
+			}
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,66 @@
+// Package dataset provides the gold-standard datasets used by the
+// experiments: the paper's running example (Figure 1), parameterized
+// synthetic generators, and statistical simulations of the three real-world
+// datasets (REVERB, RESTAURANT, BOOK) whose raw data is not redistributable.
+package dataset
+
+import "corrfuse/internal/triple"
+
+// Obama triple names, exported for tests that refer to specific rows of
+// Figure 1.
+var obamaTriples = []struct {
+	t     triple.Triple
+	label triple.Label
+	srcs  []int // 1-based extractor numbers, per the reconstruction below
+}{
+	{triple.Triple{Subject: "Obama", Predicate: "profession", Object: "president"}, triple.True, []int{1, 2, 4, 5}},             // t1
+	{triple.Triple{Subject: "Obama", Predicate: "died", Object: "1982"}, triple.False, []int{1, 2}},                             // t2
+	{triple.Triple{Subject: "Obama", Predicate: "profession", Object: "lawyer"}, triple.True, []int{3}},                         // t3
+	{triple.Triple{Subject: "Obama", Predicate: "religion", Object: "Christian"}, triple.True, []int{2, 3, 4, 5}},               // t4
+	{triple.Triple{Subject: "Obama", Predicate: "age", Object: "50"}, triple.False, []int{2, 3}},                                // t5
+	{triple.Triple{Subject: "Obama", Predicate: "support", Object: "White Sox"}, triple.True, []int{1, 4, 5}},                   // t6
+	{triple.Triple{Subject: "Obama", Predicate: "spouse", Object: "Michelle"}, triple.True, []int{1, 2, 3}},                     // t7
+	{triple.Triple{Subject: "Obama", Predicate: "administered by", Object: "John G. Roberts"}, triple.False, []int{1, 2, 4, 5}}, // t8
+	{triple.Triple{Subject: "Obama", Predicate: "surgical operation", Object: "05/01/2011"}, triple.False, []int{1, 2, 4, 5}},   // t9
+	{triple.Triple{Subject: "Obama", Predicate: "profession", Object: "community organizer"}, triple.True, []int{1, 3, 4, 5}},   // t10
+}
+
+// Obama returns the running example of the paper (Figure 1): ten knowledge
+// triples about Barack Obama extracted by five extraction systems S1–S5.
+//
+// The paper's figure does not machine-readably align the X marks with
+// extractor columns, so the matrix here is reconstructed from the paper's
+// stated constraints, all of which it satisfies exactly:
+//
+//   - O1 = {t1,t2,t6,t7,t8,t9,t10} (Example 2.1)
+//   - per-source precision/recall of Figure 1b for all five sources
+//   - joint precision/recall of Figure 1b for {S2,S3}, {S1,S3}, {S1,S2,S4},
+//     {S1,S4,S5}
+//   - S1,S4,S5 all provide t1,t6,t8,t9,t10; S1,S3 share exactly t7,t10
+//     (Example 2.3)
+//   - the per-K Union results of Figure 1c
+//   - t3 is provided only by S3; t2 by S1 and S2; St8 = {S1,S2,S4,S5}
+func Obama() *triple.Dataset {
+	d := triple.NewDataset()
+	ids := make([]triple.SourceID, 6)
+	for i := 1; i <= 5; i++ {
+		ids[i] = d.AddSource(sourceName(i))
+	}
+	for _, row := range obamaTriples {
+		for _, s := range row.srcs {
+			d.Observe(ids[s], row.t)
+		}
+		d.SetLabel(row.t, row.label)
+	}
+	return d
+}
+
+// ObamaTriple returns the Figure-1 triple t<i> (1-based) and its gold label.
+func ObamaTriple(i int) (triple.Triple, triple.Label) {
+	row := obamaTriples[i-1]
+	return row.t, row.label
+}
+
+func sourceName(i int) string {
+	return "S" + string(rune('0'+i))
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"testing"
+
+	"corrfuse/internal/quality"
+	"corrfuse/internal/stat"
+	"corrfuse/internal/triple"
+)
+
+// sid returns the SourceID of extractor Si in the Obama dataset.
+func sid(t *testing.T, d *triple.Dataset, i int) triple.SourceID {
+	t.Helper()
+	id, ok := d.SourceID(sourceName(i))
+	if !ok {
+		t.Fatalf("source S%d not found", i)
+	}
+	return id
+}
+
+func TestObamaShape(t *testing.T) {
+	d := Obama()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := d.NumSources(); got != 5 {
+		t.Fatalf("NumSources = %d, want 5", got)
+	}
+	if got := d.NumTriples(); got != 10 {
+		t.Fatalf("NumTriples = %d, want 10", got)
+	}
+	nt, nf := d.CountLabels()
+	if nt != 6 || nf != 4 {
+		t.Fatalf("labels = (%d true, %d false), want (6, 4)", nt, nf)
+	}
+	// Example 2.1: O1 = {t1, t2, t6, t7, t8, t9, t10}.
+	want := map[int]bool{1: true, 2: true, 6: true, 7: true, 8: true, 9: true, 10: true}
+	s1 := sid(t, d, 1)
+	if got := d.OutputSize(s1); got != 7 {
+		t.Fatalf("|O1| = %d, want 7", got)
+	}
+	for i := 1; i <= 10; i++ {
+		tr, _ := ObamaTriple(i)
+		id, ok := d.TripleID(tr)
+		if !ok {
+			t.Fatalf("t%d not interned", i)
+		}
+		if d.Provides(s1, id) != want[i] {
+			t.Errorf("S1 provides t%d = %v, want %v", i, !want[i], want[i])
+		}
+	}
+}
+
+// TestObamaFigure1b checks every precision/recall number in Figure 1b.
+func TestObamaFigure1b(t *testing.T) {
+	d := Obama()
+	est, err := quality.NewEstimator(d, quality.Options{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := []struct {
+		i    int
+		p, r float64
+	}{
+		{1, 4.0 / 7, 4.0 / 6},
+		{2, 3.0 / 7, 3.0 / 6},
+		{3, 4.0 / 5, 4.0 / 6},
+		{4, 4.0 / 6, 4.0 / 6},
+		{5, 4.0 / 6, 4.0 / 6},
+	}
+	for _, tc := range singles {
+		s := sid(t, d, tc.i)
+		if got := est.Precision(s); !stat.ApproxEqual(got, tc.p, 1e-9) {
+			t.Errorf("precision(S%d) = %.4f, want %.4f", tc.i, got, tc.p)
+		}
+		if got := est.Recall(s); !stat.ApproxEqual(got, tc.r, 1e-9) {
+			t.Errorf("recall(S%d) = %.4f, want %.4f", tc.i, got, tc.r)
+		}
+	}
+	joints := []struct {
+		srcs []int
+		p, r float64
+	}{
+		{[]int{2, 3}, 2.0 / 3, 2.0 / 6},
+		{[]int{1, 3}, 1.0, 2.0 / 6},
+		{[]int{1, 2, 4}, 1.0 / 3, 1.0 / 6},
+		{[]int{1, 4, 5}, 3.0 / 5, 3.0 / 6},
+	}
+	for _, tc := range joints {
+		subset := make([]triple.SourceID, len(tc.srcs))
+		for i, n := range tc.srcs {
+			subset[i] = sid(t, d, n)
+		}
+		p, ok := est.JointPrecision(subset)
+		if !ok || !stat.ApproxEqual(p, tc.p, 1e-9) {
+			t.Errorf("joint precision(%v) = %.4f (ok=%v), want %.4f", tc.srcs, p, ok, tc.p)
+		}
+		r, ok := est.JointRecall(subset)
+		if !ok || !stat.ApproxEqual(r, tc.r, 1e-9) {
+			t.Errorf("joint recall(%v) = %.4f (ok=%v), want %.4f", tc.srcs, r, ok, tc.r)
+		}
+	}
+}
+
+// TestObamaFPR checks the derived false positive rates quoted in
+// Examples 3.3 and 3.4: q1=0.5, q2=0.67, q3=0.167, q4=q5=0.33.
+func TestObamaFPR(t *testing.T) {
+	d := Obama()
+	est, err := quality.NewEstimator(d, quality.Options{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{1: 0.5, 2: 2.0 / 3, 3: 1.0 / 6, 4: 1.0 / 3, 5: 1.0 / 3}
+	for i, q := range want {
+		if got := est.FPR(sid(t, d, i)); !stat.ApproxEqual(got, q, 1e-9) {
+			t.Errorf("q%d = %.4f, want %.4f", i, got, q)
+		}
+	}
+}
+
+// TestObamaCorrelationFactors checks C45 = 1.5, C13 = 0.75, C23 = 1
+// (Section 4.2 narrative).
+func TestObamaCorrelationFactors(t *testing.T) {
+	d := Obama()
+	est, err := quality.NewEstimator(d, quality.Options{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := func(a, b int) []triple.SourceID {
+		return []triple.SourceID{sid(t, d, a), sid(t, d, b)}
+	}
+	if c, ok := quality.CorrelationTrue(est, pair(4, 5)); !ok || !stat.ApproxEqual(c, 1.5, 1e-9) {
+		t.Errorf("C45 = %.4f (ok=%v), want 1.5", c, ok)
+	}
+	if c, ok := quality.CorrelationTrue(est, pair(1, 3)); !ok || !stat.ApproxEqual(c, 0.75, 1e-9) {
+		t.Errorf("C13 = %.4f (ok=%v), want 0.75", c, ok)
+	}
+	if c, ok := quality.CorrelationTrue(est, pair(2, 3)); !ok || !stat.ApproxEqual(c, 1.0, 1e-9) {
+		t.Errorf("C23 = %.4f (ok=%v), want 1.0", c, ok)
+	}
+}

@@ -1,0 +1,262 @@
+package dataset
+
+import (
+	"fmt"
+
+	"corrfuse/internal/stat"
+	"corrfuse/internal/triple"
+)
+
+// Window restricts the portion of an item pool a source draws from, as a
+// sub-interval of [0, 1). Sources with overlapping windows tend to provide
+// the same items (positive correlation); sources with disjoint windows are
+// complementary (negative correlation). The zero value means "no window" and
+// is treated as the full interval.
+type Window struct {
+	Lo, Hi float64
+}
+
+// full reports whether the window is the whole pool (including zero value).
+func (w Window) full() bool { return w.Lo <= 0 && (w.Hi <= 0 || w.Hi >= 1) }
+
+func (w Window) normalized() Window {
+	if w.full() {
+		return Window{0, 1}
+	}
+	return Window{stat.Clamp01(w.Lo), stat.Clamp01(w.Hi)}
+}
+
+func (w Window) width() float64 {
+	n := w.normalized()
+	if n.Hi <= n.Lo {
+		return 0
+	}
+	return n.Hi - n.Lo
+}
+
+func (w Window) contains(pos float64) bool {
+	n := w.normalized()
+	return pos >= n.Lo && pos < n.Hi
+}
+
+// SourceSpec configures one synthetic source.
+type SourceSpec struct {
+	// Name of the source (defaults to "S<i+1>").
+	Name string
+	// Precision and Recall are the target quality of the source. The
+	// false-positive rate is derived so that the expected precision of
+	// the generated output matches: q = (1−p)/p · r·|True|/|False|.
+	Precision, Recall float64
+	// TrueWindow and FalseWindow restrict which true/false items the
+	// source can provide. Marginal rates are rescaled by the window
+	// width, so recall/precision targets are preserved (up to clamping).
+	TrueWindow, FalseWindow Window
+}
+
+// GroupSpec declares a latent-event correlation group: with probability
+// Strength each member copies a shared per-item draw instead of drawing
+// independently. OnTrue selects whether the group correlates on true items
+// or on false items. A source may belong to at most one group per domain.
+type GroupSpec struct {
+	Members  []int
+	OnTrue   bool
+	Strength float64
+}
+
+// SyntheticSpec configures a synthetic dataset generation run.
+type SyntheticSpec struct {
+	// NumTrue and NumFalse size the pools of true and false items.
+	NumTrue, NumFalse int
+	Sources           []SourceSpec
+	Groups            []GroupSpec
+	Seed              int64
+	// SubjectPrefix names the generated entities (default "item").
+	SubjectPrefix string
+}
+
+// Generate builds a dataset according to spec. Every generated triple gets a
+// gold label; the observation matrix is sampled from the per-source rates,
+// windows and correlation groups. Triples provided by no source are still
+// present (labeled) so that recall denominators match the spec; callers that
+// want only provided triples can filter on len(Providers) > 0.
+func Generate(spec SyntheticSpec) (*triple.Dataset, error) {
+	if spec.NumTrue <= 0 {
+		return nil, fmt.Errorf("dataset: NumTrue must be positive")
+	}
+	if spec.NumFalse < 0 {
+		return nil, fmt.Errorf("dataset: NumFalse must be non-negative")
+	}
+	if len(spec.Sources) == 0 {
+		return nil, fmt.Errorf("dataset: no sources")
+	}
+	prefix := spec.SubjectPrefix
+	if prefix == "" {
+		prefix = "item"
+	}
+	nS := len(spec.Sources)
+
+	// Validate groups and index them per source per domain.
+	trueGroup := make([]int, nS)  // group index + 1, 0 = none
+	falseGroup := make([]int, nS) // likewise
+	for gi, g := range spec.Groups {
+		if g.Strength < 0 || g.Strength > 1 {
+			return nil, fmt.Errorf("dataset: group %d strength %v outside [0,1]", gi, g.Strength)
+		}
+		for _, m := range g.Members {
+			if m < 0 || m >= nS {
+				return nil, fmt.Errorf("dataset: group %d member %d out of range", gi, m)
+			}
+			slot := falseGroup
+			if g.OnTrue {
+				slot = trueGroup
+			}
+			if slot[m] != 0 {
+				return nil, fmt.Errorf("dataset: source %d in two groups for the same domain", m)
+			}
+			slot[m] = gi + 1
+		}
+	}
+
+	rng := stat.NewRNG(spec.Seed)
+	d := triple.NewDataset()
+	ids := make([]triple.SourceID, nS)
+	for i, s := range spec.Sources {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("S%d", i+1)
+		}
+		ids[i] = d.AddSource(name)
+	}
+
+	// Per-source rates.
+	recall := make([]float64, nS)
+	fpr := make([]float64, nS)
+	for i, s := range spec.Sources {
+		if s.Recall < 0 || s.Recall > 1 {
+			return nil, fmt.Errorf("dataset: source %d recall %v outside [0,1]", i, s.Recall)
+		}
+		if s.Precision <= 0 || s.Precision > 1 {
+			return nil, fmt.Errorf("dataset: source %d precision %v outside (0,1]", i, s.Precision)
+		}
+		recall[i] = s.Recall
+		if spec.NumFalse > 0 {
+			fpr[i] = stat.Clamp01((1 - s.Precision) / s.Precision * s.Recall *
+				float64(spec.NumTrue) / float64(spec.NumFalse))
+		}
+	}
+
+	// groupRate[g] is the latent event rate for the group: the mean of its
+	// members' marginal rates in the group's domain.
+	groupRate := make([]float64, len(spec.Groups))
+	for gi, g := range spec.Groups {
+		sum := 0.0
+		for _, m := range g.Members {
+			if g.OnTrue {
+				sum += recall[m]
+			} else {
+				sum += fpr[m]
+			}
+		}
+		if len(g.Members) > 0 {
+			groupRate[gi] = sum / float64(len(g.Members))
+		}
+	}
+
+	sample := func(isTrue bool, count int, label triple.Label, object string) {
+		groupEvent := make([]bool, len(spec.Groups))
+		for j := 0; j < count; j++ {
+			pos := float64(j) / float64(count)
+			t := triple.Triple{
+				Subject:   fmt.Sprintf("%s-%06d", prefix, j),
+				Predicate: "value",
+				Object:    object,
+			}
+			if !isTrue {
+				t.Subject = fmt.Sprintf("%s-f%06d", prefix, j)
+			}
+			d.SetLabel(t, label)
+			// Draw the per-item latent event of each relevant group.
+			for gi, g := range spec.Groups {
+				if g.OnTrue == isTrue {
+					groupEvent[gi] = rng.Bernoulli(groupRate[gi])
+				}
+			}
+			for i := range spec.Sources {
+				var w Window
+				var rate float64
+				var grp int
+				if isTrue {
+					w, rate, grp = spec.Sources[i].TrueWindow, recall[i], trueGroup[i]
+				} else {
+					w, rate, grp = spec.Sources[i].FalseWindow, fpr[i], falseGroup[i]
+				}
+				provide := false
+				if grp != 0 && rng.Bernoulli(spec.Groups[grp-1].Strength) {
+					// Follow the group's shared draw.
+					provide = groupEvent[grp-1]
+				} else {
+					if !w.contains(pos) {
+						continue
+					}
+					eff := rate
+					if width := w.width(); width > 0 && width < 1 {
+						eff = stat.Clamp01(rate / width)
+					}
+					provide = rng.Bernoulli(eff)
+				}
+				if provide {
+					d.Observe(ids[i], t)
+				}
+			}
+		}
+	}
+
+	sample(true, spec.NumTrue, triple.True, "correct")
+	sample(false, spec.NumFalse, triple.False, "wrong")
+	return d, nil
+}
+
+// UniformSpec builds a SyntheticSpec with n identical independent sources,
+// the configuration used throughout Figure 6: numTriples items of which
+// trueFraction are true, every source with the given precision and recall.
+func UniformSpec(n, numTriples int, trueFraction, precision, recall float64, seed int64) SyntheticSpec {
+	numTrue := int(float64(numTriples)*trueFraction + 0.5)
+	spec := SyntheticSpec{
+		NumTrue:  numTrue,
+		NumFalse: numTriples - numTrue,
+		Seed:     seed,
+	}
+	for i := 0; i < n; i++ {
+		spec.Sources = append(spec.Sources, SourceSpec{Precision: precision, Recall: recall})
+	}
+	return spec
+}
+
+// ProvidedLabeled returns the labeled triples that at least one source
+// provides — the population the paper evaluates on (“the provided triples”).
+func ProvidedLabeled(d *triple.Dataset) []triple.TripleID {
+	var out []triple.TripleID
+	for _, id := range d.Labeled() {
+		if len(d.Providers(id)) > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// GoldLabels converts the labels of ids into a boolean slice (true = gold
+// True). It panics if any triple is unlabeled.
+func GoldLabels(d *triple.Dataset, ids []triple.TripleID) []bool {
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		switch d.Label(id) {
+		case triple.True:
+			out[i] = true
+		case triple.False:
+			out[i] = false
+		default:
+			panic(fmt.Sprintf("dataset: triple %d has no gold label", id))
+		}
+	}
+	return out
+}

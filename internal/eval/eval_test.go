@@ -1,0 +1,193 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"corrfuse/internal/stat"
+)
+
+func TestClassify(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.4, 0.3}
+	labels := []bool{true, false, true, false}
+	m := Classify(scores, labels, 0.5)
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 || m.TN != 1 {
+		t.Fatalf("confusion = %+v", m)
+	}
+	if m.Precision() != 0.5 || m.Recall() != 0.5 || m.F1() != 0.5 || m.Accuracy() != 0.5 {
+		t.Errorf("metrics: %v", m)
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	var m BinaryMetrics
+	if m.Precision() != 0 || m.Recall() != 0 || m.F1() != 0 || m.Accuracy() != 0 {
+		t.Error("empty metrics should be 0")
+	}
+	m = BinaryMetrics{TP: 5}
+	if m.Precision() != 1 || m.Recall() != 1 || m.F1() != 1 {
+		t.Error("perfect metrics should be 1")
+	}
+}
+
+func TestClassifyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Classify([]float64{1}, []bool{true, false}, 0.5)
+}
+
+func TestPerfectRankingAUC(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if got := AUCROC(scores, labels); !stat.ApproxEqual(got, 1, 1e-12) {
+		t.Errorf("AUC-ROC = %v, want 1", got)
+	}
+	if got := AUCPR(scores, labels); !stat.ApproxEqual(got, 1, 1e-12) {
+		t.Errorf("AUC-PR = %v, want 1", got)
+	}
+}
+
+func TestInvertedRankingAUC(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	if got := AUCROC(scores, labels); !stat.ApproxEqual(got, 0, 1e-12) {
+		t.Errorf("AUC-ROC = %v, want 0", got)
+	}
+}
+
+func TestUniformScoresAUCHalf(t *testing.T) {
+	// All scores tied: AUC-ROC must be exactly 0.5 regardless of the
+	// label order (the tie-aware construction).
+	scores := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false, false, true}
+	if got := AUCROC(scores, labels); !stat.ApproxEqual(got, 0.5, 1e-12) {
+		t.Errorf("AUC-ROC with all ties = %v, want 0.5", got)
+	}
+}
+
+func TestTieOrderInvariance(t *testing.T) {
+	// Swapping the order of tied items must not change the AUCs.
+	scores := []float64{0.9, 0.5, 0.5, 0.5, 0.1}
+	labelsA := []bool{true, true, false, false, false}
+	labelsB := []bool{true, false, false, true, false}
+	if a, b := AUCROC(scores, labelsA), AUCROC(scores, labelsB); !stat.ApproxEqual(a, b, 1e-12) {
+		t.Errorf("AUC-ROC tie order dependence: %v vs %v", a, b)
+	}
+	if a, b := AUCPR(scores, labelsA), AUCPR(scores, labelsB); !stat.ApproxEqual(a, b, 1e-9) {
+		t.Errorf("AUC-PR tie order dependence: %v vs %v", a, b)
+	}
+}
+
+func TestAUCROCEqualsMannWhitney(t *testing.T) {
+	// AUC-ROC must equal the tie-corrected Mann–Whitney U statistic.
+	f := func(raw []byte) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		nPos := 0
+		for i, b := range raw {
+			scores[i] = float64(b % 8) // coarse → many ties
+			labels[i] = b%3 == 0
+			if labels[i] {
+				nPos++
+			}
+		}
+		if nPos == 0 || nPos == len(raw) {
+			return true
+		}
+		var u float64
+		for i := range scores {
+			if !labels[i] {
+				continue
+			}
+			for j := range scores {
+				if labels[j] {
+					continue
+				}
+				switch {
+				case scores[i] > scores[j]:
+					u += 1
+				case scores[i] == scores[j]:
+					u += 0.5
+				}
+			}
+		}
+		mw := u / float64(nPos*(len(raw)-nPos))
+		return stat.ApproxEqual(AUCROC(scores, labels), mw, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestROCCurveEndpoints(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.5}
+	labels := []bool{true, false, true}
+	pts := ROCCurve(scores, labels)
+	first, last := pts[0], pts[len(pts)-1]
+	if first.X != 0 || first.Y != 0 {
+		t.Errorf("ROC must start at origin, got %v", first)
+	}
+	if last.X != 1 || last.Y != 1 {
+		t.Errorf("ROC must end at (1,1), got %v", last)
+	}
+}
+
+func TestPRCurveMonotoneRecall(t *testing.T) {
+	scores := []float64{0.9, 0.7, 0.7, 0.4, 0.2}
+	labels := []bool{true, false, true, true, false}
+	pts := PRCurve(scores, labels)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X-1e-12 {
+			t.Fatalf("recall not monotone at %d: %v < %v", i, pts[i].X, pts[i-1].X)
+		}
+	}
+	if last := pts[len(pts)-1]; !stat.ApproxEqual(last.X, 1, 1e-12) {
+		t.Errorf("final recall = %v, want 1", last.X)
+	}
+}
+
+func TestAUCBounds(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		hasPos, hasNeg := false, false
+		for i, b := range raw {
+			scores[i] = float64(b) / 255
+			labels[i] = b%2 == 0
+			if labels[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		pr, roc := AUCPR(scores, labels), AUCROC(scores, labels)
+		return pr >= -1e-12 && pr <= 1+1e-12 && roc >= -1e-12 && roc <= 1+1e-12 &&
+			!math.IsNaN(pr) && !math.IsNaN(roc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if AUC(nil) != 0 || AUC([]Point{{0, 1}}) != 0 {
+		t.Error("degenerate curves should have zero area")
+	}
+	// Unit square.
+	if got := AUC([]Point{{0, 1}, {1, 1}}); got != 1 {
+		t.Errorf("flat unit curve area = %v", got)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"corrfuse/internal/eval"
+)
+
+// WriteCurves exports the PR and ROC curves of each evaluated method as TSV
+// files (x<TAB>y per line) into dir, named <dataset>-<method>-{pr,roc}.tsv —
+// the series from which Figure 4's curves are re-plotted.
+func WriteCurves(dir, datasetName string, evals []MethodEval) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for _, e := range evals {
+		pr, roc := CurvePoints(e)
+		for _, c := range []struct {
+			kind   string
+			points []eval.Point
+		}{{"pr", pr}, {"roc", roc}} {
+			name := fmt.Sprintf("%s-%s-%s.tsv", slug(datasetName), slug(e.Method), c.kind)
+			if err := writeTSV(filepath.Join(dir, name), c.points); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeTSV(path string, points []eval.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(f, "%.6f\t%.6f\n", p.X, p.Y); err != nil {
+			f.Close()
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	return f.Close()
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"corrfuse/internal/core"
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/quality"
+	"corrfuse/internal/triple"
+)
+
+// paperParams rebuilds the §4 given-parameter set used by Figure 3 and
+// Example 4.7 (shared with Fig3 via buildFig3Params below).
+func paperParams(t *testing.T, d *triple.Dataset) *quality.Manual {
+	t.Helper()
+	m := quality.NewManual(0.5)
+	type sq struct{ r, q float64 }
+	singles := map[string]sq{
+		"S1": {2.0 / 3, 0.5}, "S2": {0.5, 2.0 / 3}, "S3": {2.0 / 3, 1.0 / 6},
+		"S4": {2.0 / 3, 1.0 / 3}, "S5": {2.0 / 3, 1.0 / 3},
+	}
+	ids := make(map[string]triple.SourceID)
+	for name, v := range singles {
+		id, ok := d.SourceID(name)
+		if !ok {
+			t.Fatalf("source %s missing", name)
+		}
+		ids[name] = id
+		m.SetSource(id, v.r, v.q)
+	}
+	subset := func(names ...string) []triple.SourceID {
+		out := make([]triple.SourceID, len(names))
+		for i, n := range names {
+			out[i] = ids[n]
+		}
+		return out
+	}
+	m.SetJointRecall(subset("S1", "S2", "S3", "S4", "S5"), 0.11)
+	m.SetJointFPR(subset("S1", "S2", "S3", "S4", "S5"), 0.037)
+	m.SetJointRecall(subset("S2", "S3", "S4", "S5"), 1.0/6)
+	m.SetJointFPR(subset("S2", "S3", "S4", "S5"), 0.037)
+	m.SetJointRecall(subset("S1", "S3", "S4", "S5"), 0.22)
+	m.SetJointFPR(subset("S1", "S3", "S4", "S5"), 0.037/(2.0/3))
+	m.SetJointRecall(subset("S1", "S2", "S4", "S5"), 0.22)
+	m.SetJointFPR(subset("S1", "S2", "S4", "S5"), 0.22)
+	m.SetJointRecall(subset("S1", "S2", "S3", "S5"), 0.11)
+	m.SetJointFPR(subset("S1", "S2", "S3", "S5"), 0.037)
+	m.SetJointRecall(subset("S1", "S2", "S3", "S4"), 0.11)
+	m.SetJointFPR(subset("S1", "S2", "S3", "S4"), 0.037)
+	return m
+}
+
+// TestExample47 reproduces Example 4.7: with the Figure 3 correlation
+// parameters the aggressive approximation computes µ_aggr ≈ 0.3 for t8 and
+// Pr(t8|O) ≈ 0.23, correctly classifying t8 as false (and more conservative
+// than the exact 0.37 of Example 4.4).
+func TestExample47(t *testing.T) {
+	d := dataset.Obama()
+	m := paperParams(t, d)
+	ag, err := core.NewAggressive(core.Config{Dataset: d, Params: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, _ := dataset.ObamaTriple(8)
+	id, ok := d.TripleID(t8)
+	if !ok {
+		t.Fatal("t8 missing")
+	}
+	mu := ag.Mu(id)
+	if mu < 0.25 || mu > 0.35 {
+		t.Errorf("µ_aggr(t8) = %.4f, want ≈ 0.3 (paper)", mu)
+	}
+	p := ag.Probability(id)
+	if p < 0.20 || p > 0.27 {
+		t.Errorf("Pr(t8) = %.4f, want ≈ 0.23 (paper)", p)
+	}
+	if p >= 0.5 {
+		t.Error("aggressive approximation should classify t8 as false")
+	}
+}

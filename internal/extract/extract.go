@@ -1,0 +1,256 @@
+// Package extract simulates the paper's motivating scenario: knowledge-triple
+// extraction from web pages by multiple extraction systems. A synthetic
+// corpus of pages carries facts expressed through different pattern kinds
+// (infobox, free text, tables); extractors support different pattern subsets
+// with different reliability and may share extraction rules.
+//
+// The simulation produces exactly the correlation structures Section 1
+// motivates:
+//
+//   - extractors supporting the same patterns extract overlapping sets of
+//     true triples (positive correlation on true data, without copying);
+//   - extractors sharing rules corrupt facts identically (positive
+//     correlation on false data — the S1/S4/S5 phenomenon of Example 1.1);
+//   - extractors supporting disjoint patterns are complementary (negative
+//     correlation — the S3-vs-text-extractors phenomenon).
+//
+// Ground truth is known by construction ("the extractor input represents the
+// real world", Example 2.1): a triple is true iff the page states it.
+package extract
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"corrfuse/internal/stat"
+	"corrfuse/internal/triple"
+)
+
+// PatternKind is a way a fact can be expressed on a page.
+type PatternKind int
+
+// The pattern kinds of the simulated pages.
+const (
+	Infobox PatternKind = iota
+	FreeText
+	Table
+	numPatternKinds
+)
+
+// String implements fmt.Stringer.
+func (p PatternKind) String() string {
+	switch p {
+	case Infobox:
+		return "infobox"
+	case FreeText:
+		return "text"
+	case Table:
+		return "table"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Fact is a true statement on a page together with the pattern kinds through
+// which the page expresses it.
+type Fact struct {
+	Triple   triple.Triple
+	Patterns []PatternKind
+}
+
+// Page is one synthetic web document.
+type Page struct {
+	URL   string
+	Facts []Fact
+}
+
+// Corpus is a collection of pages with known ground truth.
+type Corpus struct {
+	Pages []Page
+}
+
+// CorpusConfig sizes the synthetic corpus.
+type CorpusConfig struct {
+	// NumPages in the corpus.
+	NumPages int
+	// FactsPerPage is the mean number of facts per page (≥ 1).
+	FactsPerPage int
+	// MultiPatternFraction is the probability a fact is expressed through
+	// two pattern kinds instead of one (e.g. both infobox and text).
+	MultiPatternFraction float64
+	Seed                 int64
+}
+
+// attribute pool for generated facts; values are per-entity.
+var attributes = []string{
+	"profession", "religion", "spouse", "birthplace", "education",
+	"award", "employer", "residence", "member of", "supports",
+}
+
+// NewCorpus synthesizes a corpus: each page describes one entity through a
+// few facts, each fact expressed via one or two pattern kinds.
+func NewCorpus(cfg CorpusConfig) (*Corpus, error) {
+	if cfg.NumPages <= 0 {
+		return nil, fmt.Errorf("extract: NumPages must be positive")
+	}
+	if cfg.FactsPerPage <= 0 {
+		cfg.FactsPerPage = 5
+	}
+	rng := stat.NewRNG(cfg.Seed)
+	c := &Corpus{}
+	for p := 0; p < cfg.NumPages; p++ {
+		entity := fmt.Sprintf("entity-%05d", p)
+		page := Page{URL: "wiki/" + entity}
+		n := 1 + rng.Intn(2*cfg.FactsPerPage-1) // mean ≈ FactsPerPage
+		for f := 0; f < n; f++ {
+			attr := attributes[rng.Intn(len(attributes))]
+			fact := Fact{
+				Triple: triple.Triple{
+					Subject:   entity,
+					Predicate: attr,
+					Object:    fmt.Sprintf("%s-value-%d", attr, rng.Intn(50)),
+				},
+			}
+			first := PatternKind(rng.Intn(int(numPatternKinds)))
+			fact.Patterns = append(fact.Patterns, first)
+			if rng.Bernoulli(cfg.MultiPatternFraction) {
+				second := PatternKind(rng.Intn(int(numPatternKinds)))
+				if second != first {
+					fact.Patterns = append(fact.Patterns, second)
+				}
+			}
+			page.Facts = append(page.Facts, fact)
+		}
+		c.Pages = append(c.Pages, page)
+	}
+	return c, nil
+}
+
+// NumFacts returns the total number of facts in the corpus.
+func (c *Corpus) NumFacts() int {
+	n := 0
+	for _, p := range c.Pages {
+		n += len(p.Facts)
+	}
+	return n
+}
+
+// ExtractorConfig describes one simulated extraction system.
+type ExtractorConfig struct {
+	Name string
+	// PatternRecall maps each supported pattern kind to the probability
+	// that the extractor captures a fact expressed through it.
+	// Unsupported kinds are simply not extracted (the complementarity
+	// mechanism).
+	PatternRecall map[PatternKind]float64
+	// ErrorRate is the probability that a captured fact is corrupted
+	// into a wrong triple instead of extracted faithfully.
+	ErrorRate float64
+	// RuleSet identifies the extraction rules. Extractors with the same
+	// RuleSet corrupt a given fact into the *same* wrong triple — the
+	// "common rules" positive correlation on false data. Extractors with
+	// different rule sets make independent mistakes.
+	RuleSet int64
+}
+
+// Run executes the extractors over the corpus and assembles the fused
+// dataset: one source per extractor, gold labels from the ground truth
+// (true = the page indeed expresses the triple).
+func Run(corpus *Corpus, extractors []ExtractorConfig, seed int64) (*triple.Dataset, error) {
+	if corpus == nil || len(corpus.Pages) == 0 {
+		return nil, fmt.Errorf("extract: empty corpus")
+	}
+	if len(extractors) == 0 {
+		return nil, fmt.Errorf("extract: no extractors")
+	}
+	d := triple.NewDataset()
+	ids := make([]triple.SourceID, len(extractors))
+	for i, e := range extractors {
+		if e.Name == "" {
+			return nil, fmt.Errorf("extract: extractor %d has no name", i)
+		}
+		if e.ErrorRate < 0 || e.ErrorRate > 1 {
+			return nil, fmt.Errorf("extract: extractor %q error rate outside [0,1]", e.Name)
+		}
+		for k, r := range e.PatternRecall {
+			if r < 0 || r > 1 {
+				return nil, fmt.Errorf("extract: extractor %q recall for %v outside [0,1]", e.Name, k)
+			}
+		}
+		ids[i] = d.AddSource(e.Name)
+	}
+	rng := stat.NewRNG(seed)
+
+	for _, page := range corpus.Pages {
+		for _, fact := range page.Facts {
+			// Every stated fact is a true triple, whether extracted or not.
+			d.SetLabel(fact.Triple, triple.True)
+			for i, e := range extractors {
+				captured := false
+				for _, pat := range fact.Patterns {
+					r, ok := e.PatternRecall[pat]
+					if ok && rng.Bernoulli(r) {
+						captured = true
+						break
+					}
+				}
+				if !captured {
+					continue
+				}
+				if rng.Bernoulli(e.ErrorRate) {
+					wrong := Corrupt(fact.Triple, e.RuleSet)
+					d.Observe(ids[i], wrong)
+					d.SetLabel(wrong, triple.False)
+				} else {
+					d.Observe(ids[i], fact.Triple)
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// Corrupt deterministically derives the wrong triple an extractor with the
+// given rule set produces from a fact. Determinism in (fact, ruleSet) is the
+// point: extractors sharing rules share mistakes.
+func Corrupt(t triple.Triple, ruleSet int64) triple.Triple {
+	h := fnv.New64a()
+	h.Write([]byte(t.Key()))
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(ruleSet >> (8 * i))
+	}
+	h.Write(b[:])
+	switch h.Sum64() % 3 {
+	case 0:
+		// Truncated object (boundary detection error).
+		obj := t.Object
+		if len(obj) > 3 {
+			obj = obj[:len(obj)/2]
+		} else {
+			obj += "-x"
+		}
+		return triple.Triple{Subject: t.Subject, Predicate: t.Predicate, Object: obj}
+	case 1:
+		// Wrong predicate (relation classification error).
+		return triple.Triple{Subject: t.Subject, Predicate: t.Predicate + "-of", Object: t.Object}
+	default:
+		// Subject confusion (coreference error — the Obama Sr. case).
+		return triple.Triple{Subject: t.Subject + " Sr.", Predicate: t.Predicate, Object: t.Object}
+	}
+}
+
+// StandardExtractors returns a five-extractor setup mirroring Example 1.1:
+// S1, S4, S5 share text rules (correlated, with shared mistakes), S2 uses
+// its own text rules, and S3 reads only the infobox and tables
+// (anti-correlated with the text extractors).
+func StandardExtractors() []ExtractorConfig {
+	textish := map[PatternKind]float64{FreeText: 0.75, Table: 0.2}
+	return []ExtractorConfig{
+		{Name: "S1", PatternRecall: textish, ErrorRate: 0.25, RuleSet: 100},
+		{Name: "S2", PatternRecall: map[PatternKind]float64{FreeText: 0.6}, ErrorRate: 0.35, RuleSet: 200},
+		{Name: "S3", PatternRecall: map[PatternKind]float64{Infobox: 0.9, Table: 0.7}, ErrorRate: 0.08, RuleSet: 300},
+		{Name: "S4", PatternRecall: textish, ErrorRate: 0.22, RuleSet: 100},
+		{Name: "S5", PatternRecall: textish, ErrorRate: 0.22, RuleSet: 100},
+	}
+}

@@ -1,0 +1,156 @@
+package extract
+
+import (
+	"testing"
+
+	"corrfuse/internal/quality"
+	"corrfuse/internal/triple"
+)
+
+func buildCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := NewCorpus(CorpusConfig{NumPages: 300, FactsPerPage: 5, MultiPatternFraction: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCorpusShape(t *testing.T) {
+	c := buildCorpus(t)
+	if len(c.Pages) != 300 {
+		t.Fatalf("pages = %d", len(c.Pages))
+	}
+	if c.NumFacts() < 300 {
+		t.Errorf("facts = %d, want ≥ pages", c.NumFacts())
+	}
+	for _, p := range c.Pages {
+		if p.URL == "" {
+			t.Fatal("page without URL")
+		}
+		for _, f := range p.Facts {
+			if len(f.Patterns) == 0 || len(f.Patterns) > 2 {
+				t.Fatalf("fact with %d patterns", len(f.Patterns))
+			}
+		}
+	}
+	if _, err := NewCorpus(CorpusConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+}
+
+func TestCorruptDeterminism(t *testing.T) {
+	tr := triple.Triple{Subject: "Obama", Predicate: "died", Object: "1982-value"}
+	a := Corrupt(tr, 42)
+	b := Corrupt(tr, 42)
+	if a != b {
+		t.Error("same rule set must corrupt identically")
+	}
+	c := Corrupt(tr, 43)
+	// Different rule sets usually differ; at minimum, corruption must not
+	// return the original.
+	if a == tr || c == tr {
+		t.Error("corruption returned the original fact")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := buildCorpus(t)
+	if _, err := Run(nil, StandardExtractors(), 1); err == nil {
+		t.Error("nil corpus should fail")
+	}
+	if _, err := Run(c, nil, 1); err == nil {
+		t.Error("no extractors should fail")
+	}
+	if _, err := Run(c, []ExtractorConfig{{Name: ""}}, 1); err == nil {
+		t.Error("unnamed extractor should fail")
+	}
+	if _, err := Run(c, []ExtractorConfig{{Name: "X", ErrorRate: 2}}, 1); err == nil {
+		t.Error("invalid error rate should fail")
+	}
+}
+
+// TestRunProducesExpectedCorrelations checks that the simulated pipeline
+// realizes the Example 1.1 correlation structure: S1/S4/S5 positively
+// correlated (shared patterns and rules), S3 anti-correlated with them.
+func TestRunProducesExpectedCorrelations(t *testing.T) {
+	c := buildCorpus(t)
+	d, err := Run(c, StandardExtractors(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	est, err := quality.NewEstimator(d, quality.Options{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := func(n string) triple.SourceID {
+		s, ok := d.SourceID(n)
+		if !ok {
+			t.Fatalf("source %s missing", n)
+		}
+		return s
+	}
+	// S4, S5 share rules and patterns → strong positive correlation.
+	c45, ok := quality.CorrelationTrue(est, []triple.SourceID{id("S4"), id("S5")})
+	if !ok || c45 < 1.1 {
+		t.Errorf("C45 = %v, want clearly > 1", c45)
+	}
+	// S3 vs S4 extract from mostly disjoint patterns → C < 1.
+	c34, ok := quality.CorrelationTrue(est, []triple.SourceID{id("S3"), id("S4")})
+	if !ok || c34 > 0.95 {
+		t.Errorf("C34 = %v, want < 1 (complementary)", c34)
+	}
+	// Shared rules: S4 and S5 produce overlapping false triples.
+	cf45, ok := quality.CorrelationFalse(est, []triple.SourceID{id("S4"), id("S5")})
+	if !ok || cf45 < 1.5 {
+		t.Errorf("C¬45 = %v, want ≫ 1 (shared mistakes)", cf45)
+	}
+	// S3 is far more precise than the error-prone text extractors.
+	if p3, p2 := est.Precision(id("S3")), est.Precision(id("S2")); p3 < p2+0.1 {
+		t.Errorf("precision(S3)=%v should clearly exceed precision(S2)=%v", p3, p2)
+	}
+}
+
+// TestGroundTruthLabels: every stated fact is labeled true; every corrupted
+// extraction is labeled false.
+func TestGroundTruthLabels(t *testing.T) {
+	c := buildCorpus(t)
+	d, err := Run(c, StandardExtractors(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stated := map[triple.Triple]bool{}
+	for _, p := range c.Pages {
+		for _, f := range p.Facts {
+			stated[f.Triple] = true
+		}
+	}
+	for i := 0; i < d.NumTriples(); i++ {
+		tid := triple.TripleID(i)
+		tr := d.Triple(tid)
+		switch d.Label(tid) {
+		case triple.True:
+			if !stated[tr] {
+				t.Fatalf("true label on unstated triple %v", tr)
+			}
+		case triple.False:
+			if stated[tr] {
+				t.Fatalf("false label on stated triple %v", tr)
+			}
+		default:
+			t.Fatalf("unlabeled triple %v", tr)
+		}
+	}
+}
+
+func TestPatternKindString(t *testing.T) {
+	if Infobox.String() != "infobox" || FreeText.String() != "text" || Table.String() != "table" {
+		t.Error("pattern names")
+	}
+	if PatternKind(9).String() == "" {
+		t.Error("unknown pattern should still render")
+	}
+}

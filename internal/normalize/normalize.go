@@ -1,0 +1,130 @@
+// Package normalize implements the pre-processing the paper assumes has
+// happened before fusion (§2.1: "we assume schema mapping and reference
+// reconciliation have been applied so we can compare the triples across
+// sources"): canonicalization of triple components, predicate/schema alias
+// mapping, and simple reference reconciliation via an alias table, so that
+// the same real-world statement from different sources becomes the same
+// Triple value.
+package normalize
+
+import (
+	"strings"
+	"unicode"
+
+	"corrfuse/internal/triple"
+)
+
+// Normalizer rewrites triples into canonical form. The zero value performs
+// only textual canonicalization; add alias tables with the Map* methods.
+// Not safe for concurrent mutation; concurrent Apply calls are fine.
+type Normalizer struct {
+	// predicateAlias maps source-specific predicate names (canonicalized)
+	// to schema predicates ("schema mapping").
+	predicateAlias map[string]string
+	// entityAlias maps entity mentions (canonicalized) to canonical
+	// entity names ("reference reconciliation").
+	entityAlias map[string]string
+	// valueAlias maps object-value variants to canonical values.
+	valueAlias map[string]string
+}
+
+// New returns an empty Normalizer.
+func New() *Normalizer {
+	return &Normalizer{
+		predicateAlias: make(map[string]string),
+		entityAlias:    make(map[string]string),
+		valueAlias:     make(map[string]string),
+	}
+}
+
+// MapPredicate registers a schema mapping: every (canonicalized) occurrence
+// of alias becomes canonical. The canonical target is substituted verbatim —
+// pass it in canonical form (see Canonical) so repeated Apply calls are
+// idempotent.
+func (n *Normalizer) MapPredicate(alias, canonical string) {
+	n.predicateAlias[Canonical(alias)] = canonical
+}
+
+// MapEntity registers a reference reconciliation: mentions of alias resolve
+// to the canonical entity.
+func (n *Normalizer) MapEntity(alias, canonical string) {
+	n.entityAlias[Canonical(alias)] = canonical
+}
+
+// MapValue registers an object-value canonicalization.
+func (n *Normalizer) MapValue(alias, canonical string) {
+	n.valueAlias[Canonical(alias)] = canonical
+}
+
+// Canonical performs textual canonicalization: trim, collapse internal
+// whitespace, lower-case, and strip a trailing period.
+func Canonical(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	started := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			space = started
+			continue
+		}
+		if space {
+			b.WriteByte(' ')
+			space = false
+		}
+		b.WriteRune(unicode.ToLower(r))
+		started = true
+	}
+	out := b.String()
+	return strings.TrimSuffix(out, ".")
+}
+
+// Apply canonicalizes a triple and resolves its components through the alias
+// tables.
+func (n *Normalizer) Apply(t triple.Triple) triple.Triple {
+	subject := Canonical(t.Subject)
+	predicate := Canonical(t.Predicate)
+	object := Canonical(t.Object)
+	if n.entityAlias != nil {
+		if canon, ok := n.entityAlias[subject]; ok {
+			subject = canon
+		}
+	}
+	if n.predicateAlias != nil {
+		if canon, ok := n.predicateAlias[predicate]; ok {
+			predicate = canon
+		}
+	}
+	if n.valueAlias != nil {
+		if canon, ok := n.valueAlias[object]; ok {
+			object = canon
+		}
+		// Object values can also be entity mentions (e.g. a spouse).
+		if canon, ok := n.entityAlias[object]; ok {
+			object = canon
+		}
+	}
+	return triple.Triple{Subject: subject, Predicate: predicate, Object: object}
+}
+
+// Dataset rebuilds a dataset with every triple normalized: observations of
+// variant triples merge onto the canonical triple, and labels follow (a
+// conflict — variants of one canonical triple labeled both true and false —
+// resolves to the last label seen in TripleID order).
+func (n *Normalizer) Dataset(d *triple.Dataset) *triple.Dataset {
+	out := triple.NewDataset()
+	for _, s := range d.Sources() {
+		out.AddSource(s.Name)
+	}
+	for i := 0; i < d.NumTriples(); i++ {
+		id := triple.TripleID(i)
+		canon := n.Apply(d.Triple(id))
+		for _, s := range d.Providers(id) {
+			out.Observe(s, canon)
+		}
+		if l := d.Label(id); l != triple.Unknown {
+			out.SetLabel(canon, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package normalize
+
+import (
+	"testing"
+	"testing/quick"
+
+	"corrfuse/internal/triple"
+)
+
+func TestCanonical(t *testing.T) {
+	cases := map[string]string{
+		"  Barack   Obama  ": "barack obama",
+		"PRESIDENT.":         "president",
+		"a\tb\nc":            "a b c",
+		"":                   "",
+		"  ":                 "",
+		"Doctor.":            "doctor",
+	}
+	for in, want := range cases {
+		if got := Canonical(in); got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		c := Canonical(s)
+		return Canonical(c) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyAliases(t *testing.T) {
+	n := New()
+	n.MapPredicate("occupation", "profession")
+	n.MapEntity("Barack Obama", "Obama")
+	n.MapEntity("B. Obama", "Obama")
+	n.MapValue("US President", "president")
+
+	variants := []triple.Triple{
+		{Subject: "Barack Obama", Predicate: "occupation", Object: "US President"},
+		{Subject: "b. obama", Predicate: "Occupation", Object: "us  president"},
+		{Subject: "BARACK  OBAMA", Predicate: "occupation.", Object: "US President."},
+	}
+	want := triple.Triple{Subject: "Obama", Predicate: "profession", Object: "president"}
+	for _, v := range variants {
+		if got := n.Apply(v); got != want {
+			t.Errorf("Apply(%v) = %v, want %v", v, got, want)
+		}
+	}
+	// Entity aliases apply to objects too (spouse-style references).
+	spouse := n.Apply(triple.Triple{Subject: "Michelle", Predicate: "spouse", Object: "B. Obama"})
+	if spouse.Object != "Obama" {
+		t.Errorf("object entity alias not applied: %v", spouse)
+	}
+}
+
+func TestZeroValueNormalizer(t *testing.T) {
+	var n Normalizer
+	got := n.Apply(triple.Triple{Subject: " A ", Predicate: "B", Object: "C."})
+	want := triple.Triple{Subject: "a", Predicate: "b", Object: "c"}
+	if got != want {
+		t.Errorf("zero-value Apply = %v, want %v", got, want)
+	}
+}
+
+func TestDatasetMergesVariants(t *testing.T) {
+	d := triple.NewDataset()
+	s1 := d.AddSource("S1")
+	s2 := d.AddSource("S2")
+	v1 := triple.Triple{Subject: "Barack Obama", Predicate: "occupation", Object: "President"}
+	v2 := triple.Triple{Subject: "B. Obama", Predicate: "profession", Object: "president."}
+	d.Observe(s1, v1)
+	d.Observe(s2, v2)
+	d.SetLabel(v1, triple.True)
+
+	n := New()
+	n.MapPredicate("occupation", "profession")
+	n.MapEntity("Barack Obama", "obama")
+	n.MapEntity("B. Obama", "obama")
+
+	out := n.Dataset(d)
+	if out.NumTriples() != 1 {
+		t.Fatalf("variants not merged: %d triples", out.NumTriples())
+	}
+	canon := triple.Triple{Subject: "obama", Predicate: "profession", Object: "president"}
+	id, ok := out.TripleID(canon)
+	if !ok {
+		t.Fatalf("canonical triple missing; have %v", out.Triple(0))
+	}
+	if len(out.Providers(id)) != 2 {
+		t.Errorf("providers = %d, want 2 (merged)", len(out.Providers(id)))
+	}
+	if out.Label(id) != triple.True {
+		t.Error("label lost in normalization")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

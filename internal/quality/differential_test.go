@@ -1,0 +1,177 @@
+package quality
+
+import (
+	"testing"
+
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/stat"
+	"corrfuse/internal/triple"
+)
+
+// naiveJointRecall recomputes r_{S*} by direct iteration, as a reference for
+// the bitset implementation.
+func naiveJointRecall(d *triple.Dataset, scope triple.Scope, subset []triple.SourceID) (float64, bool) {
+	var provided, inScope int
+	for _, id := range d.Labeled() {
+		if d.Label(id) != triple.True {
+			continue
+		}
+		allScope := true
+		for _, s := range subset {
+			if !scope.InScope(d, s, id) {
+				allScope = false
+				break
+			}
+		}
+		if !allScope {
+			continue
+		}
+		inScope++
+		allProv := true
+		for _, s := range subset {
+			if !d.Provides(s, id) {
+				allProv = false
+				break
+			}
+		}
+		if allProv {
+			provided++
+		}
+	}
+	if inScope == 0 {
+		return 0, false
+	}
+	return float64(provided) / float64(inScope), true
+}
+
+// naiveJointPrecision recomputes p_{S*} by direct iteration.
+func naiveJointPrecision(d *triple.Dataset, subset []triple.SourceID) (float64, bool) {
+	var all, allTrue int
+	for _, id := range d.Labeled() {
+		provided := true
+		for _, s := range subset {
+			if !d.Provides(s, id) {
+				provided = false
+				break
+			}
+		}
+		if !provided {
+			continue
+		}
+		all++
+		if d.Label(id) == triple.True {
+			allTrue++
+		}
+	}
+	if all == 0 {
+		return 0, false
+	}
+	return float64(allTrue) / float64(all), true
+}
+
+// TestJointStatsDifferential cross-checks the bitset joint statistics
+// against the naive reference on random correlated data, for both scopes
+// and many random subsets.
+func TestJointStatsDifferential(t *testing.T) {
+	rng := stat.NewRNG(2024)
+	for trial := 0; trial < 3; trial++ {
+		spec := dataset.SyntheticSpec{
+			NumTrue:  150,
+			NumFalse: 150,
+			Seed:     int64(1000 + trial),
+			Sources: []dataset.SourceSpec{
+				{Precision: 0.7, Recall: 0.5},
+				{Precision: 0.6, Recall: 0.4},
+				{Precision: 0.8, Recall: 0.3},
+				{Precision: 0.5, Recall: 0.6},
+				{Precision: 0.6, Recall: 0.5},
+				{Precision: 0.7, Recall: 0.4},
+			},
+			Groups: []dataset.GroupSpec{
+				{Members: []int{0, 1, 2}, OnTrue: true, Strength: 0.7},
+			},
+		}
+		d, err := dataset.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scopes := []triple.Scope{triple.ScopeGlobal{}, triple.NewScopeSubject(d)}
+		for si, scope := range scopes {
+			e, err := NewEstimator(d, Options{Alpha: 0.5, Scope: scope})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 20; k++ {
+				size := 2 + rng.Intn(4)
+				idx := rng.SampleWithoutReplacement(6, size)
+				subset := make([]triple.SourceID, size)
+				for i, v := range idx {
+					subset[i] = triple.SourceID(v)
+				}
+				gotR, gotROK := e.JointRecall(subset)
+				wantR, wantROK := naiveJointRecall(d, scope, subset)
+				if gotROK != wantROK || (gotROK && !stat.ApproxEqual(gotR, wantR, 1e-12)) {
+					t.Fatalf("trial %d scope %d subset %v: JointRecall = (%v,%v), naive (%v,%v)",
+						trial, si, subset, gotR, gotROK, wantR, wantROK)
+				}
+				gotP, gotPOK := e.JointPrecision(subset)
+				wantP, wantPOK := naiveJointPrecision(d, subset)
+				if gotPOK != wantPOK || (gotPOK && !stat.ApproxEqual(gotP, wantP, 1e-12)) {
+					t.Fatalf("trial %d subset %v: JointPrecision = (%v,%v), naive (%v,%v)",
+						trial, subset, gotP, gotPOK, wantP, wantPOK)
+				}
+			}
+		}
+	}
+}
+
+// TestPairCountsDifferential cross-checks PairCounts against direct
+// iteration.
+func TestPairCountsDifferential(t *testing.T) {
+	d, err := dataset.SimulatedReVerb(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(d, Options{Alpha: 0.26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < d.NumSources(); a++ {
+		for b := a + 1; b < d.NumSources(); b++ {
+			bt, bf, at, af, btr, bfr, tt, tf := e.PairCounts(triple.SourceID(a), triple.SourceID(b))
+			var wantBT, wantBF, wantAT, wantAF, wantBTr, wantBFr, wantTT, wantTF int
+			for _, id := range d.Labeled() {
+				isTrue := d.Label(id) == triple.True
+				pa := d.Provides(triple.SourceID(a), id)
+				pb := d.Provides(triple.SourceID(b), id)
+				if isTrue {
+					wantTT++
+				} else {
+					wantTF++
+				}
+				if pa && isTrue {
+					wantAT++
+				}
+				if pa && !isTrue {
+					wantAF++
+				}
+				if pb && isTrue {
+					wantBTr++
+				}
+				if pb && !isTrue {
+					wantBFr++
+				}
+				if pa && pb && isTrue {
+					wantBT++
+				}
+				if pa && pb && !isTrue {
+					wantBF++
+				}
+			}
+			if bt != wantBT || bf != wantBF || at != wantAT || af != wantAF ||
+				btr != wantBTr || bfr != wantBFr || tt != wantTT || tf != wantTF {
+				t.Fatalf("PairCounts(%d,%d) mismatch", a, b)
+			}
+		}
+	}
+}

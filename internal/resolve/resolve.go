@@ -1,0 +1,153 @@
+// Package resolve implements the extensions sketched in the paper's
+// future-work section (§7): single-truth resolution for attributes that can
+// hold only one value (e.g. a birth date), and domain-partitioned fusion for
+// sources whose quality varies by domain (e.g. a source that is mediocre
+// overall but excellent on one category of entities).
+package resolve
+
+import (
+	"fmt"
+	"sort"
+
+	"corrfuse/internal/triple"
+)
+
+// Scored pairs a triple with a fusion probability; it mirrors the public
+// API's ScoredTriple without importing the root package (no import cycles).
+type Scored struct {
+	ID          triple.TripleID
+	Triple      triple.Triple
+	Probability float64
+}
+
+// SingleValued enforces single-truth semantics for the given predicates: for
+// every (subject, predicate) key with a single-valued predicate, only the
+// highest-probability value survives (ties broken deterministically by
+// object string); its competitors are suppressed regardless of their own
+// probabilities. Multi-valued predicates pass through unchanged.
+//
+// This is the paper's "a person only has a single birth date" scenario: the
+// open-world model scores each value independently, and single-truth
+// attributes need exactly this arbitration step on top.
+func SingleValued(scored []Scored, singleValued map[string]bool) []Scored {
+	type key struct{ subject, predicate string }
+	best := make(map[key]Scored)
+	for _, s := range scored {
+		if !singleValued[s.Triple.Predicate] {
+			continue
+		}
+		k := key{s.Triple.Subject, s.Triple.Predicate}
+		cur, ok := best[k]
+		if !ok || s.Probability > cur.Probability ||
+			(s.Probability == cur.Probability && s.Triple.Object < cur.Triple.Object) {
+			best[k] = s
+		}
+	}
+	out := make([]Scored, 0, len(scored))
+	for _, s := range scored {
+		if !singleValued[s.Triple.Predicate] {
+			out = append(out, s)
+			continue
+		}
+		k := key{s.Triple.Subject, s.Triple.Predicate}
+		if best[k].Triple == s.Triple {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Domain names a group of triples that share quality characteristics.
+type Domain string
+
+// DomainFunc assigns each triple to a domain. ByPredicate is the common
+// choice; any deterministic assignment works.
+type DomainFunc func(t triple.Triple) Domain
+
+// ByPredicate assigns every triple to its predicate's domain.
+func ByPredicate(t triple.Triple) Domain { return Domain(t.Predicate) }
+
+// BySubjectPrefix groups triples by the prefix of the subject up to the
+// first separator byte — a stand-in for entity categories (e.g. "pizzeria-"
+// vs "steakhouse-").
+func BySubjectPrefix(sep byte) DomainFunc {
+	return func(t triple.Triple) Domain {
+		for i := 0; i < len(t.Subject); i++ {
+			if t.Subject[i] == sep {
+				return Domain(t.Subject[:i])
+			}
+		}
+		return Domain(t.Subject)
+	}
+}
+
+// Partition splits a dataset into per-domain datasets, each containing the
+// same source registry, the triples of that domain, and their labels. Fusing
+// each partition separately trains a quality model per domain, the remedy
+// the paper proposes for domain-dependent source quality ("a source may have
+// low overall precision, but may be particularly accurate with respect to
+// Pizzerias").
+func Partition(d *triple.Dataset, f DomainFunc) map[Domain]*triple.Dataset {
+	if f == nil {
+		f = ByPredicate
+	}
+	out := make(map[Domain]*triple.Dataset)
+	get := func(dom Domain) *triple.Dataset {
+		p, ok := out[dom]
+		if !ok {
+			p = triple.NewDataset()
+			for _, s := range d.Sources() {
+				p.AddSource(s.Name)
+			}
+			out[dom] = p
+		}
+		return p
+	}
+	for i := 0; i < d.NumTriples(); i++ {
+		id := triple.TripleID(i)
+		t := d.Triple(id)
+		p := get(f(t))
+		for _, s := range d.Providers(id) {
+			p.Observe(s, t)
+		}
+		if l := d.Label(id); l != triple.Unknown {
+			p.SetLabel(t, l)
+		} else if len(d.Providers(id)) == 0 {
+			p.SetLabel(t, triple.Unknown)
+		}
+	}
+	return out
+}
+
+// Domains lists the domains of a partition in deterministic order.
+func Domains(parts map[Domain]*triple.Dataset) []Domain {
+	out := make([]Domain, 0, len(parts))
+	for dom := range parts {
+		out = append(out, dom)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge recombines per-domain scored results into one slice, re-mapping the
+// IDs back to the original dataset. Triples absent from the original dataset
+// are an error (they cannot be re-mapped).
+func Merge(original *triple.Dataset, parts map[Domain][]Scored) ([]Scored, error) {
+	var out []Scored
+	for dom, scored := range parts {
+		for _, s := range scored {
+			id, ok := original.TripleID(s.Triple)
+			if !ok {
+				return nil, fmt.Errorf("resolve: domain %q triple %v not in the original dataset", dom, s.Triple)
+			}
+			out = append(out, Scored{ID: id, Triple: s.Triple, Probability: s.Probability})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			return out[i].Probability > out[j].Probability
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}

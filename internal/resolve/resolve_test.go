@@ -1,0 +1,213 @@
+package resolve
+
+import (
+	"testing"
+
+	"corrfuse/internal/core"
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/quality"
+	"corrfuse/internal/triple"
+)
+
+func mk(s, p, o string) triple.Triple {
+	return triple.Triple{Subject: s, Predicate: p, Object: o}
+}
+
+func TestSingleValuedKeepsBest(t *testing.T) {
+	scored := []Scored{
+		{ID: 0, Triple: mk("Obama", "born", "1961"), Probability: 0.9},
+		{ID: 1, Triple: mk("Obama", "born", "1936"), Probability: 0.6},
+		{ID: 2, Triple: mk("Obama", "profession", "president"), Probability: 0.8},
+		{ID: 3, Triple: mk("Obama", "profession", "lawyer"), Probability: 0.7},
+		{ID: 4, Triple: mk("Bush", "born", "1946"), Probability: 0.55},
+	}
+	out := SingleValued(scored, map[string]bool{"born": true})
+	want := map[triple.TripleID]bool{0: true, 2: true, 3: true, 4: true}
+	if len(out) != 4 {
+		t.Fatalf("kept %d, want 4: %v", len(out), out)
+	}
+	for _, s := range out {
+		if !want[s.ID] {
+			t.Errorf("unexpected survivor %v", s.Triple)
+		}
+	}
+}
+
+func TestSingleValuedTieBreak(t *testing.T) {
+	scored := []Scored{
+		{ID: 0, Triple: mk("e", "p", "bbb"), Probability: 0.5},
+		{ID: 1, Triple: mk("e", "p", "aaa"), Probability: 0.5},
+	}
+	out := SingleValued(scored, map[string]bool{"p": true})
+	if len(out) != 1 || out[0].Triple.Object != "aaa" {
+		t.Errorf("tie should break to the lexicographically smaller object: %v", out)
+	}
+}
+
+func TestSingleValuedNoPredicates(t *testing.T) {
+	scored := []Scored{
+		{ID: 0, Triple: mk("e", "p", "1"), Probability: 0.9},
+		{ID: 1, Triple: mk("e", "p", "2"), Probability: 0.8},
+	}
+	out := SingleValued(scored, nil)
+	if len(out) != 2 {
+		t.Error("without single-valued predicates everything passes through")
+	}
+}
+
+func TestPartitionCoversEverything(t *testing.T) {
+	d := dataset.Obama()
+	parts := Partition(d, ByPredicate)
+	total := 0
+	for _, p := range parts {
+		total += p.NumTriples()
+		if p.NumSources() != d.NumSources() {
+			t.Error("partitions must share the source registry")
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != d.NumTriples() {
+		t.Errorf("partitions cover %d of %d triples", total, d.NumTriples())
+	}
+	if len(parts) < 5 {
+		t.Errorf("obama has several predicates, got %d domains", len(parts))
+	}
+	if len(Domains(parts)) != len(parts) {
+		t.Error("Domains should list every domain")
+	}
+}
+
+func TestBySubjectPrefix(t *testing.T) {
+	f := BySubjectPrefix('-')
+	if got := f(mk("pizzeria-42", "p", "v")); got != "pizzeria" {
+		t.Errorf("domain = %q", got)
+	}
+	if got := f(mk("nodash", "p", "v")); got != "nodash" {
+		t.Errorf("domain = %q", got)
+	}
+}
+
+// TestDomainFusionBeatsGlobalWhenQualityIsDomainDependent builds the §7
+// scenario: a source that is excellent in one domain and poor in another.
+// Per-domain quality estimation recovers the difference; global estimation
+// averages it away.
+func TestDomainFusionBeatsGlobalWhenQualityIsDomainDependent(t *testing.T) {
+	// Two domains, one source per claim; source "mixed" is 95% accurate on
+	// domain A and 20% accurate on domain B. Source "meh" is 60% on both.
+	d := triple.NewDataset()
+	mixed := d.AddSource("mixed")
+	meh := d.AddSource("meh")
+
+	addClaims := func(domain string, n int, mixedAcc float64) {
+		for i := 0; i < n; i++ {
+			sub := domain + "-" + itoa(i)
+			truth := mk(sub, "value", "correct")
+			wrong := mk(sub, "value", "wrong")
+			d.SetLabel(truth, triple.True)
+			d.SetLabel(wrong, triple.False)
+			// mixed claims correctly with mixedAcc.
+			if float64(i%100)/100 < mixedAcc {
+				d.Observe(mixed, truth)
+			} else {
+				d.Observe(mixed, wrong)
+			}
+			// meh claims correctly 60% of the time.
+			if i%5 < 3 {
+				d.Observe(meh, truth)
+			} else {
+				d.Observe(meh, wrong)
+			}
+		}
+	}
+	addClaims("alpha", 300, 0.95)
+	addClaims("beta", 300, 0.20)
+
+	fuseF1 := func(target *triple.Dataset, domainAware bool) float64 {
+		score := func(part *triple.Dataset) []Scored {
+			est, err := quality.NewEstimator(part, quality.Options{Alpha: 0.5, Smoothing: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			alg, err := core.NewPrecRec(core.Config{Dataset: part, Params: est})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out []Scored
+			for i := 0; i < part.NumTriples(); i++ {
+				id := triple.TripleID(i)
+				if len(part.Providers(id)) == 0 {
+					continue
+				}
+				out = append(out, Scored{ID: id, Triple: part.Triple(id), Probability: alg.Probability(id)})
+			}
+			return out
+		}
+		var scored []Scored
+		if domainAware {
+			parts := Partition(target, BySubjectPrefix('-'))
+			merged := make(map[Domain][]Scored, len(parts))
+			for dom, part := range parts {
+				merged[dom] = score(part)
+			}
+			var err error
+			scored, err = Merge(target, merged)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			scored = score(target)
+		}
+		var tp, fp, fn int
+		for _, s := range scored {
+			id, _ := target.TripleID(s.Triple)
+			isTrue := target.Label(id) == triple.True
+			accepted := s.Probability > 0.5
+			switch {
+			case accepted && isTrue:
+				tp++
+			case accepted && !isTrue:
+				fp++
+			case isTrue:
+				fn++
+			}
+		}
+		if tp == 0 {
+			return 0
+		}
+		p := float64(tp) / float64(tp+fp)
+		r := float64(tp) / float64(tp+fn)
+		return 2 * p * r / (p + r)
+	}
+
+	global := fuseF1(d, false)
+	domain := fuseF1(d, true)
+	if domain <= global {
+		t.Errorf("domain-aware F1 %v should beat global F1 %v", domain, global)
+	}
+}
+
+func TestMergeRejectsForeignTriples(t *testing.T) {
+	d := dataset.Obama()
+	_, err := Merge(d, map[Domain][]Scored{
+		"x": {{Triple: mk("nobody", "none", "x"), Probability: 0.5}},
+	})
+	if err == nil {
+		t.Error("foreign triple should fail to merge")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

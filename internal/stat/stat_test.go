@@ -1,0 +1,248 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKahanSumCompensates(t *testing.T) {
+	// Summing many tiny values onto a large one loses precision naively.
+	var k KahanSum
+	k.Add(1e16)
+	for i := 0; i < 1000; i++ {
+		k.Add(1.0)
+	}
+	if got, want := k.Sum(), 1e16+1000; got != want {
+		t.Errorf("KahanSum = %v, want %v", got, want)
+	}
+}
+
+func TestSumMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Sum(xs); got != 40 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); !ApproxEqual(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); !ApproxEqual(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestLogAddExp(t *testing.T) {
+	a, b := math.Log(3), math.Log(4)
+	if got := LogAddExp(a, b); !ApproxEqual(got, math.Log(7), 1e-12) {
+		t.Errorf("LogAddExp = %v", got)
+	}
+	if got := LogAddExp(math.Inf(-1), a); got != a {
+		t.Errorf("LogAddExp(-Inf, a) = %v", got)
+	}
+	// No overflow for large magnitudes.
+	if got := LogAddExp(1000, 1000); !ApproxEqual(got, 1000+math.Log(2), 1e-9) {
+		t.Errorf("LogAddExp(1000,1000) = %v", got)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("empty LogSumExp should be -Inf")
+	}
+	xs := []float64{math.Log(1), math.Log(2), math.Log(3)}
+	if got := LogSumExp(xs); !ApproxEqual(got, math.Log(6), 1e-12) {
+		t.Errorf("LogSumExp = %v", got)
+	}
+}
+
+func TestSigmoidLogitInverse(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 30 {
+			return true
+		}
+		return ApproxEqual(Logit(Sigmoid(x)), x, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOddsRoundTrip(t *testing.T) {
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 0.999} {
+		if got := FromOdds(Odds(p)); !ApproxEqual(got, p, 1e-12) {
+			t.Errorf("FromOdds(Odds(%v)) = %v", p, got)
+		}
+	}
+	if FromOdds(Odds(1)) != 1 {
+		t.Error("p=1 should round trip through +Inf odds")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp broken")
+	}
+	if Clamp01(2) != 1 || Clamp01(-1) != 0 {
+		t.Error("Clamp01 broken")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean(1, 1); got != 1 {
+		t.Errorf("HarmonicMean(1,1) = %v", got)
+	}
+	if got := HarmonicMean(0.5, 1); !ApproxEqual(got, 2.0/3, 1e-12) {
+		t.Errorf("HarmonicMean(0.5,1) = %v", got)
+	}
+	if HarmonicMean(0, 1) != 0 {
+		t.Error("HarmonicMean with a zero input should be 0")
+	}
+}
+
+func TestLogBeta(t *testing.T) {
+	// B(2,3) = 1/12.
+	if got := LogBeta(2, 3); !ApproxEqual(got, math.Log(1.0/12), 1e-12) {
+		t.Errorf("LogBeta(2,3) = %v", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed should give same stream")
+		}
+	}
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if g.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) fired")
+		}
+		if !g.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) missed")
+		}
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	g := NewRNG(7)
+	const n = 20000
+	a, b := 2.0, 5.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := g.Beta(a, b)
+		if x < 0 || x > 1 {
+			t.Fatalf("Beta sample %v outside [0,1]", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	wantMean := a / (a + b)
+	if math.Abs(mean-wantMean) > 0.01 {
+		t.Errorf("Beta mean = %v, want %v", mean, wantMean)
+	}
+	variance := sumSq/n - mean*mean
+	wantVar := a * b / ((a + b) * (a + b) * (a + b + 1))
+	if math.Abs(variance-wantVar) > 0.005 {
+		t.Errorf("Beta variance = %v, want %v", variance, wantVar)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	g := NewRNG(11)
+	for _, alpha := range []float64{0.5, 1, 3.5, 10} {
+		const n = 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := g.Gamma(alpha)
+			if x < 0 {
+				t.Fatalf("Gamma sample %v negative", x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		if math.Abs(mean-alpha) > 0.1*alpha+0.05 {
+			t.Errorf("Gamma(%v) mean = %v", alpha, mean)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	g := NewRNG(13)
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.3}, {64, 0.5}, {1000, 0.1}} {
+		const reps = 5000
+		var sum float64
+		for i := 0; i < reps; i++ {
+			k := g.Binomial(tc.n, tc.p)
+			if k < 0 || k > tc.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", tc.n, tc.p, k)
+			}
+			sum += float64(k)
+		}
+		mean := sum / reps
+		want := float64(tc.n) * tc.p
+		if math.Abs(mean-want) > 0.05*want+0.5 {
+			t.Errorf("Binomial(%d,%v) mean = %v, want %v", tc.n, tc.p, mean, want)
+		}
+	}
+	if g.Binomial(5, 0) != 0 || g.Binomial(5, 1) != 5 || g.Binomial(0, 0.5) != 0 {
+		t.Error("Binomial edge cases broken")
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	g := NewRNG(17)
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[g.Categorical(weights)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		want := w / 10
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Categorical[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	g := NewRNG(19)
+	s := g.SampleWithoutReplacement(10, 5)
+	if len(s) != 5 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad sample %v", s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1, 1, 0) {
+		t.Error("identical values")
+	}
+	if !ApproxEqual(1e12, 1e12+1, 1e-9) {
+		t.Error("relative tolerance")
+	}
+	if ApproxEqual(math.NaN(), 1, 1) {
+		t.Error("NaN should never be equal")
+	}
+}

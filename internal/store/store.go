@@ -1,0 +1,262 @@
+// Package store provides an indexed, persistent triple store: the storage
+// substrate a production deployment of the fusion pipeline sits on. It keeps
+// the observation data of a triple.Dataset queryable by subject, predicate
+// and source, records fused results, and persists to JSON Lines.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"corrfuse/internal/triple"
+)
+
+// Entry is a stored triple with its provenance and fusion state.
+type Entry struct {
+	Triple      triple.Triple `json:"triple"`
+	Sources     []string      `json:"sources"`
+	Label       string        `json:"label,omitempty"`
+	Probability float64       `json:"probability,omitempty"`
+	Accepted    bool          `json:"accepted,omitempty"`
+}
+
+// Store is an in-memory indexed triple store with JSONL persistence.
+// It is safe for concurrent use.
+type Store struct {
+	mu sync.RWMutex
+
+	entries []Entry
+	byKey   map[triple.Triple]int
+	// Secondary indexes: entry positions by subject / predicate / source.
+	bySubject   map[string][]int
+	byPredicate map[string][]int
+	bySource    map[string][]int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		byKey:       make(map[triple.Triple]int),
+		bySubject:   make(map[string][]int),
+		byPredicate: make(map[string][]int),
+		bySource:    make(map[string][]int),
+	}
+}
+
+// Put inserts or merges an entry. Provenance lists are united; a non-empty
+// label, probability or acceptance overwrites the stored one.
+func (s *Store) Put(e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.byKey[e.Triple]; ok {
+		cur := &s.entries[i]
+		for _, src := range e.Sources {
+			if !containsString(cur.Sources, src) {
+				cur.Sources = append(cur.Sources, src)
+				sort.Strings(cur.Sources)
+				s.bySource[src] = append(s.bySource[src], i)
+			}
+		}
+		if e.Label != "" {
+			cur.Label = e.Label
+		}
+		if e.Probability != 0 {
+			cur.Probability = e.Probability
+		}
+		if e.Accepted {
+			cur.Accepted = true
+		}
+		return
+	}
+	i := len(s.entries)
+	sort.Strings(e.Sources)
+	s.entries = append(s.entries, e)
+	s.byKey[e.Triple] = i
+	s.bySubject[e.Triple.Subject] = append(s.bySubject[e.Triple.Subject], i)
+	s.byPredicate[e.Triple.Predicate] = append(s.byPredicate[e.Triple.Predicate], i)
+	for _, src := range e.Sources {
+		s.bySource[src] = append(s.bySource[src], i)
+	}
+}
+
+// Get returns the entry for a triple.
+func (s *Store) Get(t triple.Triple) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.byKey[t]
+	if !ok {
+		return Entry{}, false
+	}
+	return s.entries[i], true
+}
+
+// Len returns the number of stored triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// BySubject returns the entries about a subject, in insertion order.
+func (s *Store) BySubject(subject string) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.bySubject[subject])
+}
+
+// ByPredicate returns the entries with a predicate.
+func (s *Store) ByPredicate(pred string) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.byPredicate[pred])
+}
+
+// BySource returns the entries provided by a source.
+func (s *Store) BySource(src string) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.bySource[src])
+}
+
+// Accepted returns the entries marked accepted by fusion, the cleaned
+// output set R of the paper.
+func (s *Store) Accepted() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Entry
+	for _, e := range s.entries {
+		if e.Accepted {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (s *Store) collect(idx []int) []Entry {
+	out := make([]Entry, len(idx))
+	for j, i := range idx {
+		out[j] = s.entries[i]
+	}
+	return out
+}
+
+// FromDataset loads every provided triple of a dataset into a new store.
+func FromDataset(d *triple.Dataset) *Store {
+	s := New()
+	for i := 0; i < d.NumTriples(); i++ {
+		id := triple.TripleID(i)
+		provs := d.Providers(id)
+		if len(provs) == 0 && d.Label(id) == triple.Unknown {
+			continue
+		}
+		e := Entry{Triple: d.Triple(id)}
+		for _, p := range provs {
+			e.Sources = append(e.Sources, d.SourceName(p))
+		}
+		switch d.Label(id) {
+		case triple.True:
+			e.Label = "true"
+		case triple.False:
+			e.Label = "false"
+		}
+		s.Put(e)
+	}
+	return s
+}
+
+// Dataset converts the store back into a triple.Dataset.
+func (s *Store) Dataset() *triple.Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := triple.NewDataset()
+	for _, e := range s.entries {
+		for _, src := range e.Sources {
+			d.Observe(d.AddSource(src), e.Triple)
+		}
+		switch e.Label {
+		case "true":
+			d.SetLabel(e.Triple, triple.True)
+		case "false":
+			d.SetLabel(e.Triple, triple.False)
+		}
+	}
+	return d
+}
+
+// Write streams the store as JSONL.
+func (s *Store) Write(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range s.entries {
+		if err := enc.Encode(&s.entries[i]); err != nil {
+			return fmt.Errorf("store: encode entry %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads JSONL entries into the store (merging with existing ones).
+func (s *Store) Read(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return fmt.Errorf("store: line %d: %w", line, err)
+		}
+		s.Put(e)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: scan: %w", err)
+	}
+	return nil
+}
+
+// Save writes the store to a file.
+func (s *Store) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a store from a file.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	s := New()
+	if err := s.Read(f); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func containsString(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"corrfuse/internal/dataset"
+	"corrfuse/internal/triple"
+)
+
+func mk(s, p, o string) triple.Triple {
+	return triple.Triple{Subject: s, Predicate: p, Object: o}
+}
+
+func TestPutGetMerge(t *testing.T) {
+	s := New()
+	tr := mk("Obama", "profession", "president")
+	s.Put(Entry{Triple: tr, Sources: []string{"S1"}})
+	s.Put(Entry{Triple: tr, Sources: []string{"S2", "S1"}, Label: "true"})
+	e, ok := s.Get(tr)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if len(e.Sources) != 2 || e.Sources[0] != "S1" || e.Sources[1] != "S2" {
+		t.Errorf("sources = %v", e.Sources)
+	}
+	if e.Label != "true" {
+		t.Errorf("label = %q", e.Label)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if _, ok := s.Get(mk("x", "y", "z")); ok {
+		t.Error("missing triple reported present")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	s := New()
+	s.Put(Entry{Triple: mk("Obama", "profession", "president"), Sources: []string{"A"}})
+	s.Put(Entry{Triple: mk("Obama", "spouse", "Michelle"), Sources: []string{"B"}})
+	s.Put(Entry{Triple: mk("Bush", "profession", "president"), Sources: []string{"A"}})
+
+	if got := s.BySubject("Obama"); len(got) != 2 {
+		t.Errorf("BySubject(Obama) = %d entries", len(got))
+	}
+	if got := s.ByPredicate("profession"); len(got) != 2 {
+		t.Errorf("ByPredicate(profession) = %d entries", len(got))
+	}
+	if got := s.BySource("A"); len(got) != 2 {
+		t.Errorf("BySource(A) = %d entries", len(got))
+	}
+	if got := s.BySource("C"); len(got) != 0 {
+		t.Errorf("BySource(C) = %d entries", len(got))
+	}
+}
+
+func TestAccepted(t *testing.T) {
+	s := New()
+	s.Put(Entry{Triple: mk("a", "p", "1"), Accepted: true, Probability: 0.9})
+	s.Put(Entry{Triple: mk("a", "p", "2"), Probability: 0.2})
+	acc := s.Accepted()
+	if len(acc) != 1 || acc[0].Triple.Object != "1" {
+		t.Errorf("Accepted = %v", acc)
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	d := dataset.Obama()
+	s := FromDataset(d)
+	if s.Len() != 10 {
+		t.Fatalf("store Len = %d, want 10", s.Len())
+	}
+	back := s.Dataset()
+	if back.NumTriples() != d.NumTriples() || back.NumSources() != d.NumSources() {
+		t.Fatalf("round trip shape mismatch")
+	}
+	nt1, nf1 := d.CountLabels()
+	nt2, nf2 := back.CountLabels()
+	if nt1 != nt2 || nf1 != nf2 {
+		t.Errorf("labels (%d,%d) vs (%d,%d)", nt1, nf1, nt2, nf2)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := FromDataset(dataset.Obama())
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := New()
+	if err := back.Read(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("Len %d vs %d", back.Len(), s.Len())
+	}
+	tr := mk("Obama", "profession", "president")
+	a, _ := s.Get(tr)
+	b, ok := back.Get(tr)
+	if !ok || len(a.Sources) != len(b.Sources) || a.Label != b.Label {
+		t.Errorf("entry mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	s := New()
+	if err := s.Read(bytes.NewBufferString("{bad json\n")); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.jsonl")
+	s := FromDataset(dataset.Obama())
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Errorf("Len %d vs %d", back.Len(), s.Len())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr := mk("e", "p", string(rune('a'+i%26)))
+				s.Put(Entry{Triple: tr, Sources: []string{"S"}})
+				s.Get(tr)
+				s.BySubject("e")
+				s.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 26 {
+		t.Errorf("Len = %d, want 26", s.Len())
+	}
+}

@@ -1,0 +1,63 @@
+package triple
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ConfidenceObservation is a source's claim with an attached confidence
+// score, as produced by real extraction systems. Section 2.1: "a source Si
+// may provide a confidence score associated with each triple t; we can
+// consider that Si outputs t if the assigned confidence score exceeds a
+// certain threshold."
+type ConfidenceObservation struct {
+	Source     string
+	Triple     Triple
+	Confidence float64
+}
+
+// Materialize builds a deterministic Dataset from confidence-scored
+// observations by thresholding: source S outputs t iff its best confidence
+// for t is ≥ threshold. Sources are registered in first-appearance order;
+// observations below the threshold still register the source (so its scope
+// and output size reflect what it attempted).
+func Materialize(obs []ConfidenceObservation, threshold float64) (*Dataset, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("triple: threshold %v outside [0,1]", threshold)
+	}
+	d := NewDataset()
+	for _, o := range obs {
+		if o.Source == "" {
+			return nil, fmt.Errorf("triple: observation of %v without source", o.Triple)
+		}
+		if o.Confidence < 0 || o.Confidence > 1 {
+			return nil, fmt.Errorf("triple: confidence %v outside [0,1]", o.Confidence)
+		}
+		s := d.AddSource(o.Source)
+		if o.Confidence >= threshold {
+			d.Observe(s, o.Triple)
+		}
+	}
+	return d, nil
+}
+
+// ThresholdSweep materializes the observations at each threshold and reports
+// the output size per threshold — a quick aid for choosing the cutoff.
+// Thresholds are processed in ascending order.
+func ThresholdSweep(obs []ConfidenceObservation, thresholds []float64) (map[float64]int, error) {
+	sorted := append([]float64(nil), thresholds...)
+	sort.Float64s(sorted)
+	out := make(map[float64]int, len(sorted))
+	for _, th := range sorted {
+		d, err := Materialize(obs, th)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for s := 0; s < d.NumSources(); s++ {
+			total += d.OutputSize(SourceID(s))
+		}
+		out[th] = total
+	}
+	return out, nil
+}

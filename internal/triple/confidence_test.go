@@ -1,0 +1,70 @@
+package triple
+
+import "testing"
+
+func obs(src string, o string, conf float64) ConfidenceObservation {
+	return ConfidenceObservation{
+		Source:     src,
+		Triple:     Triple{Subject: "e", Predicate: "p", Object: o},
+		Confidence: conf,
+	}
+}
+
+func TestMaterializeThresholds(t *testing.T) {
+	observations := []ConfidenceObservation{
+		obs("A", "1", 0.9),
+		obs("A", "2", 0.4),
+		obs("B", "1", 0.6),
+		obs("B", "3", 0.2),
+	}
+	d, err := Materialize(observations, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSources() != 2 {
+		t.Fatalf("sources = %d", d.NumSources())
+	}
+	a, _ := d.SourceID("A")
+	b, _ := d.SourceID("B")
+	if d.OutputSize(a) != 1 || d.OutputSize(b) != 1 {
+		t.Errorf("outputs = %d, %d; want 1, 1", d.OutputSize(a), d.OutputSize(b))
+	}
+	t1 := Triple{Subject: "e", Predicate: "p", Object: "1"}
+	id, ok := d.TripleID(t1)
+	if !ok || len(d.Providers(id)) != 2 {
+		t.Error("both sources clear the threshold for object 1")
+	}
+	// Threshold 0 keeps everything.
+	all, err := Materialize(observations, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumTriples() != 3 {
+		t.Errorf("triples = %d, want 3", all.NumTriples())
+	}
+}
+
+func TestMaterializeValidation(t *testing.T) {
+	if _, err := Materialize(nil, 1.5); err == nil {
+		t.Error("invalid threshold should fail")
+	}
+	if _, err := Materialize([]ConfidenceObservation{obs("", "1", 0.5)}, 0.5); err == nil {
+		t.Error("missing source should fail")
+	}
+	if _, err := Materialize([]ConfidenceObservation{obs("A", "1", 2)}, 0.5); err == nil {
+		t.Error("invalid confidence should fail")
+	}
+}
+
+func TestThresholdSweep(t *testing.T) {
+	observations := []ConfidenceObservation{
+		obs("A", "1", 0.9), obs("A", "2", 0.5), obs("A", "3", 0.1),
+	}
+	sweep, err := ThresholdSweep(observations, []float64{0.0, 0.5, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep[0.0] != 3 || sweep[0.5] != 2 || sweep[0.95] != 0 {
+		t.Errorf("sweep = %v", sweep)
+	}
+}

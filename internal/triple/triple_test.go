@@ -1,0 +1,249 @@
+package triple
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tr(s, p, o string) Triple { return Triple{Subject: s, Predicate: p, Object: o} }
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases := []Triple{
+		tr("Obama", "profession", "president"),
+		tr("", "", ""),
+		tr("a b", "c,d", "e|f"),
+		tr("unicode-日本", "語", "🙂"),
+	}
+	for _, c := range cases {
+		got, err := ParseKey(c.Key())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", c.Key(), err)
+		}
+		if got != c {
+			t.Errorf("round trip %v != %v", got, c)
+		}
+	}
+}
+
+func TestKeyRoundTripProperty(t *testing.T) {
+	f := func(s, p, o string) bool {
+		// The separator byte cannot appear in components.
+		for _, str := range []string{s, p, o} {
+			for i := 0; i < len(str); i++ {
+				if str[i] == 0x1f {
+					return true // skip
+				}
+			}
+		}
+		in := tr(s, p, o)
+		out, err := ParseKey(in.Key())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseKeyErrors(t *testing.T) {
+	for _, k := range []string{"", "a", "a\x1fb", "a\x1fb\x1fc\x1fd"} {
+		if _, err := ParseKey(k); err == nil {
+			t.Errorf("ParseKey(%q): want error", k)
+		}
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if Unknown.String() != "unknown" || True.String() != "true" || False.String() != "false" {
+		t.Error("Label.String mismatch")
+	}
+}
+
+func TestAddSourceIdempotent(t *testing.T) {
+	d := NewDataset()
+	a := d.AddSource("A")
+	b := d.AddSource("B")
+	if a == b {
+		t.Fatal("distinct sources share an ID")
+	}
+	if again := d.AddSource("A"); again != a {
+		t.Errorf("re-adding A: got %d, want %d", again, a)
+	}
+	if d.NumSources() != 2 {
+		t.Errorf("NumSources = %d, want 2", d.NumSources())
+	}
+	if d.SourceName(a) != "A" {
+		t.Errorf("SourceName(%d) = %q", a, d.SourceName(a))
+	}
+	if id, ok := d.SourceID("B"); !ok || id != b {
+		t.Errorf("SourceID(B) = (%d, %v)", id, ok)
+	}
+	if _, ok := d.SourceID("C"); ok {
+		t.Error("SourceID(C) should be missing")
+	}
+}
+
+func TestObserveIdempotent(t *testing.T) {
+	d := NewDataset()
+	a := d.AddSource("A")
+	x := tr("e", "p", "v")
+	id1 := d.Observe(a, x)
+	id2 := d.Observe(a, x)
+	if id1 != id2 {
+		t.Fatalf("duplicate Observe returned different IDs: %d, %d", id1, id2)
+	}
+	if got := len(d.Providers(id1)); got != 1 {
+		t.Errorf("providers = %d, want 1", got)
+	}
+	if got := d.OutputSize(a); got != 1 {
+		t.Errorf("|O_A| = %d, want 1", got)
+	}
+}
+
+func TestObservePanicsOnUnknownSource(t *testing.T) {
+	d := NewDataset()
+	defer func() {
+		if recover() == nil {
+			t.Error("Observe with unregistered source should panic")
+		}
+	}()
+	d.Observe(SourceID(3), tr("e", "p", "v"))
+}
+
+func TestLabels(t *testing.T) {
+	d := NewDataset()
+	a := d.AddSource("A")
+	x, y, z := tr("e", "p", "1"), tr("e", "p", "2"), tr("e", "p", "3")
+	d.Observe(a, x)
+	d.Observe(a, y)
+	d.SetLabel(x, True)
+	d.SetLabel(y, False)
+	d.SetLabel(z, True) // unprovided gold triple
+	nt, nf := d.CountLabels()
+	if nt != 2 || nf != 1 {
+		t.Errorf("CountLabels = (%d, %d), want (2, 1)", nt, nf)
+	}
+	if got := len(d.Labeled()); got != 3 {
+		t.Errorf("Labeled = %d, want 3", got)
+	}
+	if got := len(d.TrueTriples()); got != 2 {
+		t.Errorf("TrueTriples = %d, want 2", got)
+	}
+	if got := len(d.FalseTriples()); got != 1 {
+		t.Errorf("FalseTriples = %d, want 1", got)
+	}
+	zid, ok := d.TripleID(z)
+	if !ok {
+		t.Fatal("labeled triple not interned")
+	}
+	if len(d.Providers(zid)) != 0 {
+		t.Error("unprovided triple has providers")
+	}
+}
+
+func TestProvidersSorted(t *testing.T) {
+	d := NewDataset()
+	var ids []SourceID
+	for _, n := range []string{"C", "A", "B", "E", "D"} {
+		ids = append(ids, d.AddSource(n))
+	}
+	x := tr("e", "p", "v")
+	// Observe in a scrambled order.
+	for _, i := range []int{3, 0, 4, 2, 1} {
+		d.Observe(ids[i], x)
+	}
+	id, _ := d.TripleID(x)
+	prov := d.Providers(id)
+	for i := 1; i < len(prov); i++ {
+		if prov[i-1] >= prov[i] {
+			t.Fatalf("providers not strictly sorted: %v", prov)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := NewDataset()
+	a := d.AddSource("A")
+	x := tr("e", "p", "v")
+	d.Observe(a, x)
+	d.SetLabel(x, True)
+
+	c := d.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the clone must not affect the original.
+	b := c.AddSource("B")
+	c.Observe(b, tr("e", "p", "w"))
+	c.SetLabel(x, False)
+	if d.NumSources() != 1 {
+		t.Error("clone mutation leaked sources into original")
+	}
+	id, _ := d.TripleID(x)
+	if d.Label(id) != True {
+		t.Error("clone mutation leaked labels into original")
+	}
+}
+
+func TestScopeGlobal(t *testing.T) {
+	d := NewDataset()
+	a := d.AddSource("A")
+	x := tr("e", "p", "v")
+	id := d.Observe(a, x)
+	if !(ScopeGlobal{}).InScope(d, a, id) {
+		t.Error("ScopeGlobal should always be in scope")
+	}
+}
+
+func TestScopeSubject(t *testing.T) {
+	d := NewDataset()
+	a := d.AddSource("A")
+	b := d.AddSource("B")
+	obama1 := tr("Obama", "profession", "president")
+	obama2 := tr("Obama", "profession", "lawyer")
+	bush := tr("Bush", "profession", "president")
+	d.Observe(a, obama1)
+	d.Observe(b, bush)
+	id2 := d.SetLabel(obama2, True)
+
+	sc := NewScopeSubject(d)
+	if !sc.InScope(d, a, id2) {
+		t.Error("A covers Obama, should be in scope for obama2")
+	}
+	if sc.InScope(d, b, id2) {
+		t.Error("B covers only Bush, should be out of scope for obama2")
+	}
+	bushID, _ := d.TripleID(bush)
+	if sc.InScope(d, a, bushID) {
+		t.Error("A does not cover Bush")
+	}
+	// A different dataset falls back to conservative true.
+	other := NewDataset()
+	other.AddSource("A")
+	oid := other.Observe(0, obama2)
+	if !sc.InScope(other, 0, oid) {
+		t.Error("foreign dataset should be conservatively in scope")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	d := NewDataset()
+	a := d.AddSource("A")
+	d.Observe(a, tr("e", "p", "v"))
+	// Corrupt: remove the output entry but keep the provider entry.
+	d.outputs[a] = nil
+	if err := d.Validate(); err == nil {
+		t.Error("Validate should detect asymmetric observation")
+	}
+}
+
+func TestDatasetZeroValueBuilders(t *testing.T) {
+	var d Dataset
+	a := d.AddSource("A")
+	id := d.Observe(a, tr("e", "p", "v"))
+	if id != 0 || d.NumTriples() != 1 {
+		t.Error("zero-value Dataset should be usable")
+	}
+}
