@@ -1,0 +1,170 @@
+// Command fused serves truth discovery over HTTP: it loads a JSONL store,
+// trains a fusion model, and answers queries while ingesting new claims,
+// periodically re-fusing the accumulated data with the correlation-aware
+// batch model.
+//
+// Usage:
+//
+//	fused -store data.jsonl [-addr :8080]
+//	      [-method precrec|corr|aggressive|elastic|union|3est|ltm]
+//	      [-alpha 0.5] [-scope global|subject] [-smoothing 0]
+//	      [-refresh 30s] [-persist out.jsonl] [-parallelism 0]
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/observe      ingest claims; instantly fresh probabilities
+//	GET  /v1/triple       query one triple (?subject=&predicate=&object=)
+//	GET  /v1/subject/{s}  entries about a subject
+//	GET  /v1/source/{s}   entries provided by a source
+//	POST /v1/score        score a batch of triples
+//	POST /v1/refuse       force a batch re-fusion now
+//	GET  /healthz         liveness + snapshot sequence
+//	GET  /metrics         Prometheus metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"corrfuse"
+	"corrfuse/internal/serve"
+	"corrfuse/internal/store"
+)
+
+func main() {
+	storePath := flag.String("store", "", "input store (JSONL; required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	method := flag.String("method", "corr", "fusion method: precrec, corr, aggressive, elastic, union, 3est, ltm")
+	alpha := flag.Float64("alpha", 0, "a-priori truth probability (0 = derive from labels)")
+	scope := flag.String("scope", "global", "accountability scope: global or subject")
+	smoothing := flag.Float64("smoothing", 0, "add-k smoothing for quality estimation")
+	refresh := flag.Duration("refresh", 30*time.Second, "background re-fusion period (0 disables)")
+	persist := flag.String("persist", "", "save the store to this path after re-fusions and on shutdown (default: -store path; \"-\" disables)")
+	parallelism := flag.Int("parallelism", 0, "scoring goroutines per batch (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, *storePath, *addr, *method, *alpha, *scope, *smoothing, *refresh, *persist, *parallelism, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "fused:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves the fusion service until ctx is canceled. When
+// ready is non-nil it receives the bound listen address once the server
+// accepts connections (used by tests to pick a free port with -addr :0).
+func run(ctx context.Context, storePath, addr, method string, alpha float64, scopeName string, smoothing float64, refresh time.Duration, persist string, parallelism int, ready chan<- string) error {
+	if storePath == "" {
+		return fmt.Errorf("-store is required")
+	}
+	st, err := store.Load(storePath)
+	if err != nil {
+		return err
+	}
+	if st.Len() == 0 {
+		return fmt.Errorf("store %s is empty", storePath)
+	}
+
+	cfg := serve.Config{
+		RefreshInterval: refresh,
+		Logf:            log.Printf,
+	}
+	switch persist {
+	case "":
+		cfg.PersistPath = storePath
+	case "-":
+		cfg.PersistPath = ""
+	default:
+		cfg.PersistPath = persist
+	}
+	cfg.Options = corrfuse.Options{Smoothing: smoothing, Parallelism: parallelism}
+	switch method {
+	case "precrec":
+		cfg.Options.Method = corrfuse.PrecRec
+	case "corr":
+		cfg.Options.Method = corrfuse.PrecRecCorr
+	case "aggressive":
+		cfg.Options.Method = corrfuse.PrecRecCorrAggressive
+	case "elastic":
+		cfg.Options.Method = corrfuse.PrecRecCorrElastic
+	case "union":
+		cfg.Options.Method = corrfuse.UnionK
+	case "3est":
+		cfg.Options.Method = corrfuse.ThreeEstimates
+	case "ltm":
+		cfg.Options.Method = corrfuse.LTM
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	switch scopeName {
+	case "global", "":
+		cfg.PenalizeSilence = true
+	case "subject":
+		cfg.SubjectScope = true
+	default:
+		return fmt.Errorf("unknown scope %q", scopeName)
+	}
+	if alpha != 0 {
+		cfg.Options.Alpha = alpha
+	} else if nt, nf := deriveAlpha(st); nt+nf > 0 {
+		cfg.Options.Alpha = clampAlpha(float64(nt) / float64(nt+nf))
+	}
+
+	srv, err := serve.New(st, cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	srv.Start()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("fused: serving %d triples on %s", st.Len(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("fused: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return srv.Close(shutCtx)
+}
+
+func deriveAlpha(st *store.Store) (nt, nf int) {
+	return st.Dataset().CountLabels()
+}
+
+func clampAlpha(a float64) float64 {
+	if a < 0.05 {
+		return 0.05
+	}
+	if a > 0.95 {
+		return 0.95
+	}
+	return a
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"corrfuse/internal/store"
+	"corrfuse/internal/triple"
+)
+
+func writeStore(t *testing.T) string {
+	t.Helper()
+	st := store.New()
+	tr := func(s string) triple.Triple { return triple.Triple{Subject: s, Predicate: "p", Object: "v"} }
+	for i := 0; i < 8; i++ {
+		st.Put(store.Entry{Triple: tr(fmt.Sprintf("t%d", i)), Sources: []string{"good1", "good2"}, Label: "true"})
+	}
+	for i := 0; i < 4; i++ {
+		st.Put(store.Entry{Triple: tr(fmt.Sprintf("f%d", i)), Sources: []string{"bad"}, Label: "false"})
+	}
+	st.Put(store.Entry{Triple: tr("u1"), Sources: []string{"good1"}})
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeLifecycle boots the binary's run loop on a free port, exercises
+// the API, shuts down on context cancel and checks the final persistence.
+func TestServeLifecycle(t *testing.T) {
+	path := writeStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, path, "127.0.0.1:0", "corr", 0, "global", 0.1, time.Hour, "", 0, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	obs, _ := json.Marshal(map[string]string{"source": "good2", "subject": "u1", "predicate": "p", "object": "v"})
+	resp, err = http.Post(base+"/v1/observe", "application/json", bytes.NewReader(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/refuse", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server never shut down")
+	}
+
+	// -persist defaulted to the store path: the ingested claim and the
+	// fusion results must be on disk.
+	st, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := st.Get(triple.Triple{Subject: "u1", Predicate: "p", Object: "v"})
+	if !ok || len(e.Sources) != 2 {
+		t.Fatalf("ingested provenance not persisted: %+v", e)
+	}
+	if e.Probability == 0 {
+		t.Fatal("fusion result not persisted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, "", ":0", "corr", 0, "global", 0, 0, "-", 0, nil); err == nil {
+		t.Error("missing store should fail")
+	}
+	if err := run(ctx, "/nonexistent.jsonl", ":0", "corr", 0, "global", 0, 0, "-", 0, nil); err == nil {
+		t.Error("unreadable store should fail")
+	}
+	path := writeStore(t)
+	if err := run(ctx, path, ":0", "nope", 0, "global", 0, 0, "-", 0, nil); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if err := run(ctx, path, ":0", "corr", 0, "sideways", 0, 0, "-", 0, nil); err == nil {
+		t.Error("unknown scope should fail")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := store.New().Save(empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, empty, ":0", "corr", 0, "global", 0, 0, "-", 0, nil); err == nil {
+		t.Error("empty store should fail")
+	}
+}

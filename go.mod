@@ -1,0 +1,3 @@
+module corrfuse
+
+go 1.24

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"corrfuse"
+	"corrfuse/internal/store"
+	"corrfuse/internal/triple"
+)
+
+// Observation is one ingested claim: a source asserting a triple, with an
+// optional gold label ("true" or "false") that joins the training set at
+// the next re-fusion.
+type Observation struct {
+	Source    string `json:"source"`
+	Subject   string `json:"subject"`
+	Predicate string `json:"predicate"`
+	Object    string `json:"object"`
+	Label     string `json:"label,omitempty"`
+}
+
+// ObserveResult reports the freshest probability after applying one claim.
+type ObserveResult struct {
+	Triple      triple.Triple `json:"triple"`
+	Probability float64       `json:"probability"`
+	// Live reports that the probability came from the incremental model
+	// (false: stored batch value, e.g. for unsupervised methods).
+	Live bool `json:"live"`
+	// PendingSource reports that the claiming source is not yet in the
+	// quality model; its evidence joins at the next re-fusion.
+	PendingSource bool `json:"pendingSource,omitempty"`
+}
+
+// TripleStatus is the full query answer for one stored triple.
+type TripleStatus struct {
+	Triple           triple.Triple `json:"triple"`
+	Sources          []string      `json:"sources,omitempty"`
+	Label            string        `json:"label,omitempty"`
+	Probability      float64       `json:"probability"`
+	Live             bool          `json:"live"`
+	BatchProbability float64       `json:"batchProbability"`
+	Accepted         bool          `json:"accepted"`
+}
+
+// ScoreRequest asks for probabilities of a batch of triples.
+type ScoreRequest struct {
+	Triples []triple.Triple `json:"triples"`
+}
+
+// ScoreResult is one scored triple of a batch.
+type ScoreResult struct {
+	Triple      triple.Triple `json:"triple"`
+	Probability float64       `json:"probability"`
+	// Basis is "snapshot" (batch model), "live" (incremental model) or
+	// "unknown" (never observed; probability is 0).
+	Basis string `json:"basis"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/observe", s.count(&s.m.observe, s.handleObserve))
+	s.mux.HandleFunc("GET /v1/triple", s.count(&s.m.tripleQ, s.handleTriple))
+	s.mux.HandleFunc("GET /v1/subject/{subject}", s.count(&s.m.subjectQ, s.handleSubject))
+	s.mux.HandleFunc("GET /v1/source/{source}", s.count(&s.m.sourceQ, s.handleSource))
+	s.mux.HandleFunc("POST /v1/score", s.count(&s.m.score, s.handleScore))
+	s.mux.HandleFunc("POST /v1/refuse", s.count(&s.m.refuse, s.handleRefuse))
+	s.mux.HandleFunc("GET /healthz", s.count(&s.m.health, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.count(&s.m.metricsReqs, s.handleMetrics))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code >= 400 && code < 500 {
+		s.m.badRequests.Add(1)
+	}
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleObserve ingests one claim or a batch of claims. The body is either
+// a single Observation object or {"observations": [...]}.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var batch struct {
+		Observation
+		Observations []Observation `json:"observations"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		s.httpError(w, http.StatusBadRequest, "malformed body: %v", err)
+		return
+	}
+	obs := batch.Observations
+	if len(obs) == 0 {
+		obs = []Observation{batch.Observation}
+	}
+	// Validate the whole batch before applying any of it, so a 400 means
+	// nothing was ingested.
+	for i, o := range obs {
+		if o.Source == "" || o.Subject == "" || o.Predicate == "" || o.Object == "" {
+			s.httpError(w, http.StatusBadRequest, "observation %d: source, subject, predicate and object are required", i)
+			return
+		}
+		switch o.Label {
+		case "", "true", "false":
+		default:
+			s.httpError(w, http.StatusBadRequest, "observation %d: label must be \"true\" or \"false\"", i)
+			return
+		}
+	}
+	results := make([]ObserveResult, 0, len(obs))
+	for _, o := range obs {
+		results = append(results, s.ingest(o))
+	}
+	sn := s.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":     results,
+		"snapshotSeq": sn.seq,
+	})
+}
+
+func (s *Server) status(sn *snapshot, e store.Entry) TripleStatus {
+	st := TripleStatus{
+		Triple:           e.Triple,
+		Sources:          e.Sources,
+		Label:            e.Label,
+		Probability:      e.Probability,
+		BatchProbability: e.Probability,
+		Accepted:         e.Accepted,
+	}
+	if p, live, ok := s.liveProbability(sn, e.Triple); ok {
+		st.Probability = p
+		st.Live = live
+	}
+	return st
+}
+
+func (s *Server) handleTriple(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	t := triple.Triple{Subject: q.Get("subject"), Predicate: q.Get("predicate"), Object: q.Get("object")}
+	if t.Subject == "" || t.Predicate == "" || t.Object == "" {
+		s.httpError(w, http.StatusBadRequest, "subject, predicate and object query parameters are required")
+		return
+	}
+	e, ok := s.store.Get(t)
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "triple %s not stored", t)
+		return
+	}
+	sn := s.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"result":      s.status(sn, e),
+		"snapshotSeq": sn.seq,
+	})
+}
+
+func (s *Server) writeEntryList(w http.ResponseWriter, entries []store.Entry) {
+	sn := s.snap.Load()
+	out := make([]TripleStatus, len(entries))
+	for i, e := range entries {
+		out[i] = s.status(sn, e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":     out,
+		"snapshotSeq": sn.seq,
+	})
+}
+
+func (s *Server) handleSubject(w http.ResponseWriter, r *http.Request) {
+	s.writeEntryList(w, s.store.BySubject(r.PathValue("subject")))
+}
+
+func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	s.writeEntryList(w, s.store.BySource(r.PathValue("source")))
+}
+
+// handleScore scores a batch of triples in one request. Triples fully
+// reflected in the snapshot are scored by the batch model with parallel
+// scoring; triples with newer provenance by the incremental model.
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req ScoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "malformed body: %v", err)
+		return
+	}
+	if len(req.Triples) == 0 {
+		s.httpError(w, http.StatusBadRequest, "triples is required")
+		return
+	}
+	sn := s.snap.Load()
+	results := make([]ScoreResult, len(req.Triples))
+	// Partition under one read lock: triples with provenance newer than
+	// the snapshot are answered by the live model; snapshot-resident ones
+	// are collected for a single parallel batch Score call.
+	var snapIdx []int
+	var snapIDs []corrfuse.TripleID
+	s.live.RLock()
+	for i, t := range req.Triples {
+		results[i] = ScoreResult{Triple: t, Basis: "unknown"}
+		id, inSnap := sn.data.TripleID(t)
+		snapProviders := 0
+		if inSnap {
+			snapProviders = len(sn.data.Providers(id))
+		}
+		if s.live.inc != nil && s.live.inc.Providers(t) > snapProviders {
+			if p, ok := s.live.inc.Probability(t); ok {
+				results[i].Probability = p
+				results[i].Basis = "live"
+			}
+			continue
+		}
+		if inSnap && snapProviders > 0 {
+			snapIdx = append(snapIdx, i)
+			snapIDs = append(snapIDs, id)
+		}
+	}
+	s.live.RUnlock()
+	if len(snapIDs) > 0 {
+		for j, p := range sn.fuser.Score(snapIDs) {
+			results[snapIdx[j]].Probability = p
+			results[snapIdx[j]].Basis = "snapshot"
+		}
+	}
+	s.m.scored.Add(uint64(len(req.Triples)))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":     results,
+		"snapshotSeq": sn.seq,
+	})
+}
+
+// handleRefuse forces a batch re-fusion and waits for it to complete.
+func (s *Server) handleRefuse(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
+	sn, skipped, err := s.rebuild(true)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "re-fusion failed: %v", err)
+		return
+	}
+	if err := s.persist(); err != nil {
+		s.logf("%v", err)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshotSeq": sn.seq,
+		"skipped":     skipped,
+		"triples":     sn.triples,
+		"accepted":    sn.accepted,
+		"method":      sn.fuser.MethodName(),
+		"durationMs":  time.Since(begin).Milliseconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"snapshotSeq":   sn.seq,
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// count wraps a handler with a per-endpoint request counter.
+func (s *Server) count(c *counter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		h(w, r)
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+type counter = atomic.Uint64
+
+// metrics are the service's operational counters, exposed at /metrics in
+// Prometheus text exposition format.
+type metrics struct {
+	observe, tripleQ, subjectQ, sourceQ counter
+	score, refuse, health, metricsReqs  counter
+	badRequests                         counter
+
+	observations counter // claims ingested
+	scored       counter // triples scored via /v1/score
+	rebuilds     counter
+	rebuildSkips counter
+
+	lastRebuildNanos atomic.Int64
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	storeVersion := s.store.Version()
+	s.live.RLock()
+	liveTriples := 0
+	if s.live.inc != nil {
+		liveTriples = s.live.inc.Len()
+	}
+	unknownSources := len(s.live.unknown)
+	journalLen := len(s.live.journal)
+	s.live.RUnlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP corrfused_requests_total Requests served, by endpoint.\n")
+	p("# TYPE corrfused_requests_total counter\n")
+	for _, e := range []struct {
+		name string
+		c    *counter
+	}{
+		{"observe", &s.m.observe}, {"triple", &s.m.tripleQ},
+		{"subject", &s.m.subjectQ}, {"source", &s.m.sourceQ},
+		{"score", &s.m.score}, {"refuse", &s.m.refuse},
+		{"healthz", &s.m.health}, {"metrics", &s.m.metricsReqs},
+	} {
+		p("corrfused_requests_total{endpoint=%q} %d\n", e.name, e.c.Load())
+	}
+	p("# HELP corrfused_bad_requests_total Requests rejected with a 4xx status.\n")
+	p("# TYPE corrfused_bad_requests_total counter\n")
+	p("corrfused_bad_requests_total %d\n", s.m.badRequests.Load())
+	p("# HELP corrfused_observations_total Claims ingested via /v1/observe.\n")
+	p("# TYPE corrfused_observations_total counter\n")
+	p("corrfused_observations_total %d\n", s.m.observations.Load())
+	p("# HELP corrfused_scored_triples_total Triples scored via /v1/score.\n")
+	p("# TYPE corrfused_scored_triples_total counter\n")
+	p("corrfused_scored_triples_total %d\n", s.m.scored.Load())
+
+	p("# HELP corrfused_snapshot_seq Sequence number of the live batch snapshot.\n")
+	p("# TYPE corrfused_snapshot_seq gauge\n")
+	p("corrfused_snapshot_seq %d\n", sn.seq)
+	p("# HELP corrfused_snapshot_age_seconds Age of the live batch snapshot.\n")
+	p("# TYPE corrfused_snapshot_age_seconds gauge\n")
+	p("corrfused_snapshot_age_seconds %.3f\n", time.Since(sn.builtAt).Seconds())
+	p("# HELP corrfused_snapshot_triples Triples scored by the live snapshot.\n")
+	p("# TYPE corrfused_snapshot_triples gauge\n")
+	p("corrfused_snapshot_triples %d\n", sn.triples)
+	p("# HELP corrfused_snapshot_accepted Triples the live snapshot accepts as true.\n")
+	p("# TYPE corrfused_snapshot_accepted gauge\n")
+	p("corrfused_snapshot_accepted %d\n", sn.accepted)
+
+	p("# HELP corrfused_store_triples Distinct triples in the store.\n")
+	p("# TYPE corrfused_store_triples gauge\n")
+	p("corrfused_store_triples %d\n", s.store.Len())
+	p("# HELP corrfused_store_version Store data version (mutations that feed the model).\n")
+	p("# TYPE corrfused_store_version gauge\n")
+	p("corrfused_store_version %d\n", storeVersion)
+	p("# HELP corrfused_ingest_lag Data mutations not yet reflected in the batch snapshot.\n")
+	p("# TYPE corrfused_ingest_lag gauge\n")
+	p("corrfused_ingest_lag %d\n", storeVersion-sn.version)
+
+	p("# HELP corrfused_live_triples Triples tracked by the incremental scorer.\n")
+	p("# TYPE corrfused_live_triples gauge\n")
+	p("corrfused_live_triples %d\n", liveTriples)
+	p("# HELP corrfused_journal_entries Claims journaled since the last snapshot capture.\n")
+	p("# TYPE corrfused_journal_entries gauge\n")
+	p("corrfused_journal_entries %d\n", journalLen)
+	p("# HELP corrfused_unknown_sources Sources seen in ingests but absent from the quality model.\n")
+	p("# TYPE corrfused_unknown_sources gauge\n")
+	p("corrfused_unknown_sources %d\n", unknownSources)
+
+	p("# HELP corrfused_rebuilds_total Batch re-fusions performed.\n")
+	p("# TYPE corrfused_rebuilds_total counter\n")
+	p("corrfused_rebuilds_total %d\n", s.m.rebuilds.Load())
+	p("# HELP corrfused_rebuild_skips_total Re-fusions skipped because the store was unchanged.\n")
+	p("# TYPE corrfused_rebuild_skips_total counter\n")
+	p("corrfused_rebuild_skips_total %d\n", s.m.rebuildSkips.Load())
+	p("# HELP corrfused_last_rebuild_seconds Duration of the last batch re-fusion.\n")
+	p("# TYPE corrfused_last_rebuild_seconds gauge\n")
+	p("corrfused_last_rebuild_seconds %.3f\n", time.Duration(s.m.lastRebuildNanos.Load()).Seconds())
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"time"
+
+	"corrfuse"
+	"corrfuse/internal/store"
+	"corrfuse/internal/triple"
+)
+
+// refresher periodically re-fuses the store in the background until the
+// server is closed.
+func (s *Server) refresher() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.RefreshInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if _, skipped, err := s.rebuild(false); err != nil {
+				s.logf("serve: background re-fusion failed: %v", err)
+			} else if !skipped {
+				if err := s.persist(); err != nil {
+					s.logf("%v", err)
+				}
+			}
+		}
+	}
+}
+
+// rebuild re-fuses the accumulated store with the batch model and swaps the
+// result in. Unless force is set, it is skipped (skipped=true) when the
+// store's data version has not moved since the current snapshot.
+//
+// Concurrency protocol: the store capture happens under the live write lock,
+// so every journal entry recorded before the capture is already in the
+// store (ingest writes the store before journaling, and journaling needs
+// the same lock). The long model build then runs without any lock. At swap
+// time the journal suffix — claims ingested during the build, which the
+// capture may have missed — is replayed onto the new incremental scorer;
+// replaying a claim the capture did include is harmless because
+// Incremental.Observe is idempotent.
+func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+
+	cur := s.snap.Load()
+
+	s.live.Lock()
+	version := s.store.Version()
+	if !force && cur != nil && version == cur.version {
+		// Unmoved version means every journaled claim was a no-op on the
+		// store the current snapshot captured, so the journal can be
+		// dropped — otherwise duplicate-claim traffic would grow it
+		// forever across skipped rebuilds.
+		s.live.journal = s.live.journal[:0]
+		s.live.Unlock()
+		s.m.rebuildSkips.Add(1)
+		return cur, true, nil
+	}
+	d := s.store.Dataset()
+	journalStart := len(s.live.journal)
+	s.live.Unlock()
+
+	begin := time.Now()
+	var fuser *corrfuse.Fuser
+	var err error
+	if cur == nil {
+		opts := s.cfg.Options
+		if s.cfg.SubjectScope {
+			opts.Scope = corrfuse.NewScopeSubject(d)
+		}
+		fuser, err = corrfuse.New(d, opts)
+	} else {
+		fuser, err = cur.fuser.Rebuild(d)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := fuser.Fuse()
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Write the batch results back as the authoritative fusion state.
+	// SetFusion overwrites unconditionally, so demotions stick, and it
+	// does not advance the data version, so this very rebuild does not
+	// make the next one think the data changed.
+	acceptedSet := make(map[corrfuse.TripleID]bool, len(res.Accepted))
+	for _, st := range res.Accepted {
+		acceptedSet[st.ID] = true
+	}
+	for _, st := range res.All {
+		s.store.SetFusion(st.Triple, st.Probability, acceptedSet[st.ID])
+	}
+
+	// Reseed the incremental scorer from the new quality model. The
+	// unsupervised baselines carry no quality model; the service then
+	// serves batch results only and inc stays nil.
+	inc, incErr := fuser.Incremental(s.cfg.PenalizeSilence)
+	if incErr != nil {
+		inc = nil
+	}
+	if inc != nil {
+		for si := 0; si < d.NumSources(); si++ {
+			sid := triple.SourceID(si)
+			for _, id := range d.Output(sid) {
+				if _, err := inc.Observe(sid, d.Triple(id)); err != nil {
+					return nil, false, err
+				}
+			}
+		}
+	}
+
+	next := &snapshot{
+		fuser:    fuser,
+		data:     d,
+		version:  version,
+		builtAt:  time.Now(),
+		triples:  len(res.All),
+		accepted: len(res.Accepted),
+	}
+	if cur != nil {
+		next.seq = cur.seq + 1
+	} else {
+		next.seq = 1
+	}
+
+	s.live.Lock()
+	if inc != nil {
+		for _, o := range s.live.journal[journalStart:] {
+			if sid, ok := d.SourceID(o.source); ok {
+				if _, err := inc.Observe(sid, o.t); err != nil {
+					s.live.Unlock()
+					return nil, false, err
+				}
+			}
+		}
+	}
+	s.live.inc = inc
+	s.live.data = d
+	// Keep only the suffix: everything before the capture is in the
+	// store, so the next capture will include it.
+	s.live.journal = append([]observation(nil), s.live.journal[journalStart:]...)
+	for name := range s.live.unknown {
+		if _, ok := d.SourceID(name); ok {
+			delete(s.live.unknown, name)
+		}
+	}
+	s.snap.Store(next)
+	s.live.Unlock()
+
+	s.m.rebuilds.Add(1)
+	s.m.lastRebuildNanos.Store(int64(time.Since(begin)))
+	s.logf("serve: snapshot %d: %s over %d sources, %d triples → %d accepted in %v",
+		next.seq, fuser.MethodName(), d.NumSources(), next.triples, next.accepted, time.Since(begin).Round(time.Millisecond))
+	return next, false, nil
+}
+
+// ingest applies one claim: store first (so a concurrent capture that
+// precedes our journal entry already has it), then the live scorer and the
+// journal under the live write lock. It returns the freshest probability
+// available and whether it came from the live model.
+func (s *Server) ingest(o Observation) ObserveResult {
+	t := triple.Triple{Subject: o.Subject, Predicate: o.Predicate, Object: o.Object}
+	entry := store.Entry{Triple: t, Sources: []string{o.Source}, Label: o.Label}
+	s.store.Put(entry)
+	s.m.observations.Add(1)
+
+	res := ObserveResult{Triple: t}
+	s.live.Lock()
+	s.live.journal = append(s.live.journal, observation{source: o.Source, t: t})
+	if s.live.inc == nil {
+		s.live.Unlock()
+		if e, ok := s.store.Get(t); ok {
+			res.Probability = e.Probability
+		}
+		return res
+	}
+	sid, known := s.live.data.SourceID(o.Source)
+	if !known {
+		s.live.unknown[o.Source] = true
+		p, ok := s.live.inc.Probability(t)
+		s.live.Unlock()
+		res.PendingSource = true
+		if ok {
+			res.Probability = p
+			res.Live = true
+		} else if e, ok := s.store.Get(t); ok {
+			res.Probability = e.Probability
+		}
+		return res
+	}
+	p, err := s.live.inc.Observe(sid, t)
+	s.live.Unlock()
+	if err == nil {
+		res.Probability = p
+		res.Live = true
+	}
+	return res
+}
+
+// liveProbability returns the freshest probability for t. Triples whose
+// observation set is fully reflected in the current snapshot get the batch
+// (correlation-corrected) probability; triples newly observed — or with new
+// provenance — since the capture get the incremental probability. ok is
+// false when neither model knows t.
+func (s *Server) liveProbability(sn *snapshot, t triple.Triple) (p float64, live, ok bool) {
+	id, inSnap := sn.data.TripleID(t)
+	snapProviders := 0
+	if inSnap {
+		snapProviders = len(sn.data.Providers(id))
+	}
+	s.live.RLock()
+	if s.live.inc != nil && s.live.inc.Providers(t) > snapProviders {
+		p, ok = s.live.inc.Probability(t)
+		s.live.RUnlock()
+		return p, true, ok
+	}
+	s.live.RUnlock()
+	if inSnap && snapProviders > 0 {
+		return sn.fuser.ProbabilityByID(id), false, true
+	}
+	return 0, false, false
+}

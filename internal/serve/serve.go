@@ -1,0 +1,202 @@
+// Package serve is the online fusion service: it exposes a triple store and
+// a trained fusion model over HTTP/JSON, keeps probabilities fresh under a
+// stream of arriving claims, and periodically re-fuses the accumulated data
+// with the full correlation-aware batch model.
+//
+// Two models cooperate:
+//
+//   - A batch Fuser (any corrfuse.Method, typically a PrecRecCorr variant)
+//     trained over the whole store. It is immutable; readers reach it
+//     through an atomic snapshot pointer, so the read path never takes a
+//     write lock and never sees a half-built model.
+//
+//   - An online core.Incremental scorer derived from the same quality
+//     model. Every ingested claim updates it in O(1), so queries between
+//     batch refreshes reflect the newest observations instantly (under the
+//     independence model, the best an O(1) update can do).
+//
+// A background refresher (and POST /v1/refuse) rebuilds the batch model
+// from the accumulated store, writes its results back as the authoritative
+// fusion state (store.SetFusion, so demotions stick), reseeds the
+// incremental scorer, and swaps the new snapshot in atomically. A store
+// data-version counter lets the refresher skip rebuilds when nothing that
+// feeds the model has changed.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corrfuse"
+	"corrfuse/internal/store"
+	"corrfuse/internal/triple"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Options are the fusion options for batch (re)builds. Supervised
+	// methods (the default PrecRecCorr) require gold labels in the store.
+	Options corrfuse.Options
+
+	// SubjectScope selects subject-scope accountability; the scope index
+	// is re-derived from the accumulated data at every rebuild. When
+	// false, Options.Scope (default global) is used as-is.
+	SubjectScope bool
+
+	// PenalizeSilence selects global-scope semantics for the incremental
+	// scorer: every source that does not provide a triple counts against
+	// it. Match it to the batch scope (true for global scope).
+	PenalizeSilence bool
+
+	// RefreshInterval is the period of the background batch re-fusion.
+	// Zero disables the refresher; re-fusion then only happens on
+	// POST /v1/refuse.
+	RefreshInterval time.Duration
+
+	// PersistPath, when non-empty, is the JSONL file the store is saved
+	// to after every rebuild and on Close.
+	PersistPath string
+
+	// Logf receives operational log lines. Nil silences logging.
+	Logf func(format string, args ...any)
+}
+
+// observation is a journaled ingest: a claim applied to the live scorer
+// that the next rebuild must not lose while it re-seeds from a store
+// capture taken concurrently with ingestion.
+type observation struct {
+	source string
+	t      triple.Triple
+}
+
+// snapshot is one immutable generation of the batch model. Readers load it
+// through an atomic pointer and use it without locks.
+type snapshot struct {
+	fuser *corrfuse.Fuser
+	// data is the dataset the fuser was trained on; it maps source names
+	// and triples to the IDs both models use. It is immutable.
+	data *corrfuse.Dataset
+	// version is the store data version the snapshot was captured at.
+	version uint64
+	// seq numbers snapshots 1, 2, … ; /healthz and /metrics expose it.
+	seq      uint64
+	builtAt  time.Time
+	triples  int
+	accepted int
+}
+
+// Server is the online fusion service. Build one with New, mount Handler,
+// call Start to launch the background refresher and Close to shut down.
+type Server struct {
+	cfg   Config
+	store *store.Store
+	snap  atomic.Pointer[snapshot]
+
+	// live guards the incremental scorer (its maps are mutated on every
+	// ingest) and the journal of observations since the last capture.
+	// Queries take the read lock only.
+	live struct {
+		sync.RWMutex
+		inc *corrfuse.Incremental
+		// data is the dataset inc's source IDs refer to (the current
+		// snapshot's dataset).
+		data    *corrfuse.Dataset
+		journal []observation
+		// unknown holds source names seen in ingests but absent from
+		// the current quality model; their claims reach the store and
+		// the journal, and join the models at the next rebuild.
+		unknown map[string]bool
+	}
+
+	// rebuildMu serializes batch rebuilds (refresher ticks and /v1/refuse).
+	rebuildMu sync.Mutex
+
+	m metrics
+
+	mux     *http.ServeMux
+	started time.Time
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a Server over st and trains the initial batch snapshot.
+func New(st *store.Store, cfg Config) (*Server, error) {
+	if st == nil {
+		return nil, fmt.Errorf("serve: nil store")
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   st,
+		started: time.Now(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.live.unknown = make(map[string]bool)
+	if _, _, err := s.rebuild(true); err != nil {
+		return nil, fmt.Errorf("serve: initial fusion: %w", err)
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the background refresher (if RefreshInterval > 0). It is
+// safe to call more than once; only the first call has an effect.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		if s.cfg.RefreshInterval > 0 {
+			go s.refresher()
+		} else {
+			close(s.done)
+		}
+	})
+}
+
+// Close stops the refresher and saves the store a final time. It is safe to
+// call more than once, and also without a prior Start; the context bounds
+// the wait for the refresher.
+func (s *Server) Close(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	// If Start never ran, consume its Once so no refresher can launch
+	// later and there is nothing to wait for.
+	s.startOnce.Do(func() { close(s.done) })
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return s.persist()
+}
+
+// Snapshot returns the sequence number, store version and age of the
+// current batch snapshot.
+func (s *Server) Snapshot() (seq, version uint64, age time.Duration) {
+	sn := s.snap.Load()
+	return sn.seq, sn.version, time.Since(sn.builtAt)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) persist() error {
+	if s.cfg.PersistPath == "" {
+		return nil
+	}
+	if err := s.store.Save(s.cfg.PersistPath); err != nil {
+		return fmt.Errorf("serve: persist: %w", err)
+	}
+	return nil
+}

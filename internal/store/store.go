@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -36,6 +37,13 @@ type Store struct {
 	bySubject   map[string][]int
 	byPredicate map[string][]int
 	bySource    map[string][]int
+
+	// version counts data mutations — new entries, new provenance, label
+	// changes — but not fusion-result writebacks (SetFusion, or Put merging
+	// a probability). A re-fusion therefore reads the same version it
+	// started from, letting a refresher skip rebuilds when nothing that
+	// feeds the model has changed.
+	version uint64
 }
 
 // New returns an empty store.
@@ -60,10 +68,12 @@ func (s *Store) Put(e Entry) {
 				cur.Sources = append(cur.Sources, src)
 				sort.Strings(cur.Sources)
 				s.bySource[src] = append(s.bySource[src], i)
+				s.version++
 			}
 		}
-		if e.Label != "" {
+		if e.Label != "" && e.Label != cur.Label {
 			cur.Label = e.Label
+			s.version++
 		}
 		if e.Probability != 0 {
 			cur.Probability = e.Probability
@@ -82,6 +92,37 @@ func (s *Store) Put(e Entry) {
 	for _, src := range e.Sources {
 		s.bySource[src] = append(s.bySource[src], i)
 	}
+	s.version++
+}
+
+// SetFusion records the authoritative fusion result for a triple,
+// overwriting whatever is stored — unlike Put's merge, a zero probability or
+// a rejection sticks, so a batch re-fusion can demote a previously accepted
+// entry. The triple is interned if it is not stored yet. SetFusion does not
+// advance the data version: fusion results are derived state, not input.
+func (s *Store) SetFusion(t triple.Triple, prob float64, accepted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.byKey[t]
+	if !ok {
+		i = len(s.entries)
+		s.entries = append(s.entries, Entry{Triple: t})
+		s.byKey[t] = i
+		s.bySubject[t.Subject] = append(s.bySubject[t.Subject], i)
+		s.byPredicate[t.Predicate] = append(s.byPredicate[t.Predicate], i)
+		s.version++
+	}
+	s.entries[i].Probability = prob
+	s.entries[i].Accepted = accepted
+}
+
+// Version returns the data version: a counter advanced by every mutation
+// that would change the dataset a fusion model is trained on (new triples,
+// new provenance, label changes). Fusion writebacks do not advance it.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // Get returns the entry for a triple.
@@ -225,17 +266,29 @@ func (s *Store) Read(r io.Reader) error {
 	return nil
 }
 
-// Save writes the store to a file.
+// Save writes the store to a file, atomically: the data is streamed to a
+// temporary file in the same directory and renamed over the target, so a
+// crash mid-save never truncates an existing store.
 func (s *Store) Save(path string) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), ".store-*.jsonl")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	tmp := f.Name()
 	if err := s.Write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
 }
 
 // Load reads a store from a file.

@@ -155,3 +155,79 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Len = %d, want 26", s.Len())
 	}
 }
+
+// TestSetFusion: unlike Put's merge, SetFusion is authoritative — a batch
+// re-fusion overwrites the stored probability and acceptance even when the
+// new values are zero/false, so demotions stick.
+func TestSetFusion(t *testing.T) {
+	s := New()
+	tr := mk("Obama", "born", "Kenya")
+	s.Put(Entry{Triple: tr, Sources: []string{"S1"}, Probability: 0.99, Accepted: true})
+
+	// Put cannot demote: zero probability and false acceptance are
+	// ignored by the merge.
+	s.Put(Entry{Triple: tr, Probability: 0, Accepted: false})
+	if e, _ := s.Get(tr); e.Probability != 0.99 || !e.Accepted {
+		t.Fatalf("Put merge changed fusion state: %+v", e)
+	}
+
+	s.SetFusion(tr, 0.07, false)
+	e, _ := s.Get(tr)
+	if e.Probability != 0.07 || e.Accepted {
+		t.Fatalf("SetFusion did not demote: %+v", e)
+	}
+	if len(e.Sources) != 1 || e.Label != "" {
+		t.Fatalf("SetFusion clobbered provenance: %+v", e)
+	}
+	s.SetFusion(tr, 0, false)
+	if e, _ := s.Get(tr); e.Probability != 0 {
+		t.Fatalf("SetFusion(0) did not stick: %+v", e)
+	}
+
+	// SetFusion interns unknown triples and indexes them.
+	fresh := mk("new", "p", "v")
+	s.SetFusion(fresh, 0.8, true)
+	if e, ok := s.Get(fresh); !ok || !e.Accepted {
+		t.Fatalf("SetFusion did not intern: %+v", e)
+	}
+	if got := s.BySubject("new"); len(got) != 1 {
+		t.Fatalf("interned triple not indexed: %v", got)
+	}
+}
+
+// TestVersion: the data version advances on mutations that feed the fusion
+// model and stays put for no-ops and fusion writebacks.
+func TestVersion(t *testing.T) {
+	s := New()
+	if s.Version() != 0 {
+		t.Fatalf("fresh store version = %d", s.Version())
+	}
+	tr := mk("a", "p", "v")
+	s.Put(Entry{Triple: tr, Sources: []string{"S1"}})
+	v1 := s.Version()
+	if v1 == 0 {
+		t.Fatal("insert did not advance the version")
+	}
+	s.Put(Entry{Triple: tr, Sources: []string{"S1"}}) // duplicate: no-op
+	if s.Version() != v1 {
+		t.Fatal("duplicate Put advanced the version")
+	}
+	s.Put(Entry{Triple: tr, Sources: []string{"S2"}}) // new provenance
+	v2 := s.Version()
+	if v2 == v1 {
+		t.Fatal("new provenance did not advance the version")
+	}
+	s.Put(Entry{Triple: tr, Label: "true"}) // label change
+	v3 := s.Version()
+	if v3 == v2 {
+		t.Fatal("label change did not advance the version")
+	}
+	s.SetFusion(tr, 0.9, true) // fusion writeback: derived state
+	if s.Version() != v3 {
+		t.Fatal("SetFusion advanced the data version")
+	}
+	s.Put(Entry{Triple: tr, Probability: 0.5, Accepted: true}) // merge of derived state
+	if s.Version() != v3 {
+		t.Fatal("probability merge advanced the data version")
+	}
+}

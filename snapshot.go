@@ -1,0 +1,40 @@
+package corrfuse
+
+import (
+	"fmt"
+
+	"corrfuse/internal/triple"
+)
+
+// Rebuild trains a new Fuser over d with this Fuser's options. A Fuser is
+// immutable once built; Rebuild is the path by which a long-running system
+// folds newly accumulated observations into a fresh model and atomically
+// swaps it in (see internal/serve).
+//
+// Two options are re-derived rather than copied verbatim:
+//
+//   - Train is cleared: it holds TripleIDs of the original dataset, which
+//     are meaningless in d, so the new model trains on every labeled triple
+//     of d.
+//   - A subject scope (NewScopeSubject) is re-indexed for d; its per-source
+//     subject coverage is dataset-specific. ScopeGlobal and custom
+//     dataset-agnostic scopes are kept as-is.
+func (f *Fuser) Rebuild(d *Dataset) (*Fuser, error) {
+	if d == nil {
+		return nil, fmt.Errorf("corrfuse: Rebuild with nil dataset")
+	}
+	opts := f.opts
+	opts.Train = nil
+	if _, ok := opts.Scope.(*triple.ScopeSubject); ok {
+		opts.Scope = NewScopeSubject(d)
+	}
+	return New(d, opts)
+}
+
+// Dataset returns the dataset the Fuser was trained on. The dataset must
+// not be mutated while the Fuser is in use.
+func (f *Fuser) Dataset() *Dataset { return f.d }
+
+// Options returns the effective options the Fuser was built with (after
+// defaulting).
+func (f *Fuser) Options() Options { return f.opts }
