@@ -9,9 +9,11 @@
 package corrfuse_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
+	"corrfuse"
 	"corrfuse/internal/baseline"
 	"corrfuse/internal/cluster"
 	"corrfuse/internal/core"
@@ -322,6 +324,187 @@ func BenchmarkAblationParallelScoring(b *testing.B) {
 				core.ParallelScore(ex, ids, workers)
 			}
 		})
+	}
+}
+
+// --- Sharded engine: rebuild and score vs the monolithic path --------------
+
+// shardBenchOpts is the store-scale configuration the sharded benchmarks
+// compare under: the exact correlation-aware method over forced correlation
+// clusters — the paper's §5 configuration for wide sources, without which
+// the single-cluster inclusion–exclusion over 24 sources is intractable.
+func shardBenchOpts() corrfuse.Options {
+	return corrfuse.Options{
+		Method:         corrfuse.PrecRecCorr,
+		Smoothing:      0.5,
+		Alpha:          0.6,
+		Clustering:     corrfuse.ClusterAlways,
+		MaxClusterSize: 6,
+	}
+}
+
+// shardBenchCache holds the ≥50k-triple synthetic store-scale dataset used
+// by the BenchmarkShard* family (built once; the generators are
+// deterministic).
+var shardBenchCache *triple.Dataset
+
+// shardBenchDataset synthesizes a store at the scale the ISSUE acceptance
+// criterion names: ≥50k distinct triples from a wide source set — 48 groups
+// of a copying pair plus an independent source (144 sources), 40% labeled.
+// This is the training-bound regime that motivates sharding: quality
+// estimation and pairwise correlation clustering over a wide source set are
+// the serial wall of a monolithic rebuild (scoring already parallelizes via
+// ParallelScore), and both partition cleanly by shard. Subjects spread
+// uniformly over any shard count via the hash.
+func shardBenchDataset(b *testing.B) *triple.Dataset {
+	b.Helper()
+	if shardBenchCache != nil {
+		return shardBenchCache
+	}
+	const groups = 48
+	d := triple.NewDataset()
+	var copA, copB, ind [groups]triple.SourceID
+	for g := 0; g < groups; g++ {
+		copA[g] = d.AddSource(fmt.Sprintf("copierA-%d", g))
+		copB[g] = d.AddSource(fmt.Sprintf("copierB-%d", g))
+		ind[g] = d.AddSource(fmt.Sprintf("indep-%d", g))
+	}
+	const subjects = 13000
+	n := 0
+	for s := 0; s < subjects; s++ {
+		sub := fmt.Sprintf("entity-%05d", s)
+		for p := 0; p < 4; p++ {
+			t := triple.Triple{Subject: sub, Predicate: fmt.Sprintf("p%d", p), Object: "v"}
+			g := (s + p) % groups
+			switch n % 5 {
+			case 0, 1: // copied true-looking triple
+				d.Observe(copA[g], t)
+				d.Observe(copB[g], t)
+			case 2: // corroborated by the independent source
+				d.Observe(copA[g], t)
+				d.Observe(copB[g], t)
+				d.Observe(ind[g], t)
+			case 3: // independent-only
+				d.Observe(ind[g], t)
+			case 4: // copied mistake candidate
+				d.Observe(copA[g], t)
+				d.Observe(copB[g], t)
+			}
+			if n%10 < 4 { // 40% labeled; mistakes false, the rest true
+				if n%5 == 4 || (n%5 == 3 && n%20 >= 10) {
+					d.SetLabel(t, triple.False)
+				} else {
+					d.SetLabel(t, triple.True)
+				}
+			}
+			n++
+		}
+	}
+	if d.NumTriples() < 50000 {
+		b.Fatalf("benchmark dataset has %d triples, need >= 50k", d.NumTriples())
+	}
+	shardBenchCache = d
+	return d
+}
+
+// BenchmarkShardTrainMonolithic measures the single-threaded wall the
+// sharded engine removes: monolithic model training (quality estimation +
+// pairwise correlation clustering) over the whole store. Scoring is NOT
+// included here — it already parallelizes via ParallelScore; training is
+// the serial section that caps rebuild scaling.
+func BenchmarkShardTrainMonolithic(b *testing.B) {
+	d := shardBenchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corrfuse.New(d, shardBenchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardTrainSharded8 is the sharded counterpart: partition plus 8
+// concurrent shard trainings. On a multicore runner this is where the ≥3×
+// rebuild speedup comes from.
+func BenchmarkShardTrainSharded8(b *testing.B) {
+	d := shardBenchDataset(b)
+	opts := shardBenchOpts()
+	opts.Shards = 8
+	opts.RebuildWorkers = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corrfuse.NewSharded(d, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardRebuildMonolithic is the baseline the acceptance criterion
+// measures against: one monolithic train-and-fuse over the whole store.
+func BenchmarkShardRebuildMonolithic(b *testing.B) {
+	d := shardBenchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := corrfuse.New(d, shardBenchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Fuse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardRebuildSharded8 is the sharded counterpart: partition,
+// train 8 shard models concurrently, fuse and merge. On a multicore runner
+// this is the ≥3× path; the per-shard timings land in ShardStats.
+func BenchmarkShardRebuildSharded8(b *testing.B) {
+	d := shardBenchDataset(b)
+	opts := shardBenchOpts()
+	opts.Shards = 8
+	opts.RebuildWorkers = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sf, err := corrfuse.NewSharded(d, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sf.Fuse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardScoreMonolithic scores every triple with the prebuilt
+// monolithic model (ParallelScore inside). providedIDs lives in
+// shard_differential_test.go (same package).
+func BenchmarkShardScoreMonolithic(b *testing.B) {
+	d := shardBenchDataset(b)
+	f, err := corrfuse.New(d, shardBenchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := providedIDs(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Score(ids)
+	}
+}
+
+// BenchmarkShardScoreSharded8 scores every triple with the prebuilt sharded
+// model (shards scored concurrently).
+func BenchmarkShardScoreSharded8(b *testing.B) {
+	d := shardBenchDataset(b)
+	opts := shardBenchOpts()
+	opts.Shards = 8
+	opts.RebuildWorkers = 8
+	sf, err := corrfuse.NewSharded(d, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := providedIDs(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sf.Score(ids)
 	}
 }
 

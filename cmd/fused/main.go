@@ -9,6 +9,7 @@
 //	      [-method precrec|corr|aggressive|elastic|union|3est|ltm]
 //	      [-alpha 0.5] [-scope global|subject] [-smoothing 0]
 //	      [-refresh 30s] [-persist out.jsonl] [-parallelism 0]
+//	      [-shards 1] [-rebuild-workers 0]
 //
 // Endpoints (all JSON):
 //
@@ -20,6 +21,11 @@
 //	POST /v1/refuse       force a batch re-fusion now
 //	GET  /healthz         liveness + snapshot sequence
 //	GET  /metrics         Prometheus metrics
+//
+// With -shards N (N > 1) the store is partitioned by subject hash and every
+// batch re-fusion trains the N shard models concurrently on
+// -rebuild-workers goroutines, swapping them in atomically as one snapshot;
+// /metrics then reports per-shard rebuild timings.
 package main
 
 import (
@@ -40,21 +46,41 @@ import (
 	"corrfuse/internal/store"
 )
 
+// options collects the flag values that shape the service.
+type options struct {
+	storePath string
+	addr      string
+	method    string
+	scope     string
+	persist   string
+
+	alpha     float64
+	smoothing float64
+	refresh   time.Duration
+
+	parallelism    int
+	shards         int
+	rebuildWorkers int
+}
+
 func main() {
-	storePath := flag.String("store", "", "input store (JSONL; required)")
-	addr := flag.String("addr", ":8080", "listen address")
-	method := flag.String("method", "corr", "fusion method: precrec, corr, aggressive, elastic, union, 3est, ltm")
-	alpha := flag.Float64("alpha", 0, "a-priori truth probability (0 = derive from labels)")
-	scope := flag.String("scope", "global", "accountability scope: global or subject")
-	smoothing := flag.Float64("smoothing", 0, "add-k smoothing for quality estimation")
-	refresh := flag.Duration("refresh", 30*time.Second, "background re-fusion period (0 disables)")
-	persist := flag.String("persist", "", "save the store to this path after re-fusions and on shutdown (default: -store path; \"-\" disables)")
-	parallelism := flag.Int("parallelism", 0, "scoring goroutines per batch (0 = GOMAXPROCS)")
+	var o options
+	flag.StringVar(&o.storePath, "store", "", "input store (JSONL; required)")
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.method, "method", "corr", "fusion method: precrec, corr, aggressive, elastic, union, 3est, ltm")
+	flag.Float64Var(&o.alpha, "alpha", 0, "a-priori truth probability (0 = derive from labels)")
+	flag.StringVar(&o.scope, "scope", "global", "accountability scope: global or subject")
+	flag.Float64Var(&o.smoothing, "smoothing", 0, "add-k smoothing for quality estimation")
+	flag.DurationVar(&o.refresh, "refresh", 30*time.Second, "background re-fusion period (0 disables)")
+	flag.StringVar(&o.persist, "persist", "", "save the store to this path after re-fusions and on shutdown (default: -store path; \"-\" disables)")
+	flag.IntVar(&o.parallelism, "parallelism", 0, "scoring goroutines per batch (0 = GOMAXPROCS)")
+	flag.IntVar(&o.shards, "shards", 1, "subject-hash shards for the batch model (1 = monolithic)")
+	flag.IntVar(&o.rebuildWorkers, "rebuild-workers", 0, "goroutines rebuilding shard models concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	if err := run(ctx, *storePath, *addr, *method, *alpha, *scope, *smoothing, *refresh, *persist, *parallelism, nil); err != nil {
+	if err := run(ctx, o, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "fused:", err)
 		os.Exit(1)
 	}
@@ -63,32 +89,40 @@ func main() {
 // run builds and serves the fusion service until ctx is canceled. When
 // ready is non-nil it receives the bound listen address once the server
 // accepts connections (used by tests to pick a free port with -addr :0).
-func run(ctx context.Context, storePath, addr, method string, alpha float64, scopeName string, smoothing float64, refresh time.Duration, persist string, parallelism int, ready chan<- string) error {
-	if storePath == "" {
+func run(ctx context.Context, o options, ready chan<- string) error {
+	if o.storePath == "" {
 		return fmt.Errorf("-store is required")
 	}
-	st, err := store.Load(storePath)
+	if o.shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", o.shards)
+	}
+	st, err := store.Load(o.storePath)
 	if err != nil {
 		return err
 	}
 	if st.Len() == 0 {
-		return fmt.Errorf("store %s is empty", storePath)
+		return fmt.Errorf("store %s is empty", o.storePath)
 	}
 
 	cfg := serve.Config{
-		RefreshInterval: refresh,
+		RefreshInterval: o.refresh,
 		Logf:            log.Printf,
 	}
-	switch persist {
+	switch o.persist {
 	case "":
-		cfg.PersistPath = storePath
+		cfg.PersistPath = o.storePath
 	case "-":
 		cfg.PersistPath = ""
 	default:
-		cfg.PersistPath = persist
+		cfg.PersistPath = o.persist
 	}
-	cfg.Options = corrfuse.Options{Smoothing: smoothing, Parallelism: parallelism}
-	switch method {
+	cfg.Options = corrfuse.Options{
+		Smoothing:      o.smoothing,
+		Parallelism:    o.parallelism,
+		Shards:         o.shards,
+		RebuildWorkers: o.rebuildWorkers,
+	}
+	switch o.method {
 	case "precrec":
 		cfg.Options.Method = corrfuse.PrecRec
 	case "corr":
@@ -104,18 +138,18 @@ func run(ctx context.Context, storePath, addr, method string, alpha float64, sco
 	case "ltm":
 		cfg.Options.Method = corrfuse.LTM
 	default:
-		return fmt.Errorf("unknown method %q", method)
+		return fmt.Errorf("unknown method %q", o.method)
 	}
-	switch scopeName {
+	switch o.scope {
 	case "global", "":
 		cfg.PenalizeSilence = true
 	case "subject":
 		cfg.SubjectScope = true
 	default:
-		return fmt.Errorf("unknown scope %q", scopeName)
+		return fmt.Errorf("unknown scope %q", o.scope)
 	}
-	if alpha != 0 {
-		cfg.Options.Alpha = alpha
+	if o.alpha != 0 {
+		cfg.Options.Alpha = o.alpha
 	} else if nt, nf := deriveAlpha(st); nt+nf > 0 {
 		cfg.Options.Alpha = clampAlpha(float64(nt) / float64(nt+nf))
 	}
@@ -125,7 +159,7 @@ func run(ctx context.Context, storePath, addr, method string, alpha float64, sco
 		return err
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
@@ -133,7 +167,7 @@ func run(ctx context.Context, storePath, addr, method string, alpha float64, sco
 	srv.Start()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	log.Printf("fused: serving %d triples on %s", st.Len(), ln.Addr())
+	log.Printf("fused: serving %d triples on %s (%d shards)", st.Len(), ln.Addr(), o.shards)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

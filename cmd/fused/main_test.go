@@ -35,12 +35,26 @@ func writeStore(t *testing.T) string {
 // TestServeLifecycle boots the binary's run loop on a free port, exercises
 // the API, shuts down on context cancel and checks the final persistence.
 func TestServeLifecycle(t *testing.T) {
+	testServeLifecycle(t, 1, 0)
+}
+
+// TestServeLifecycleSharded runs the same lifecycle with a sharded batch
+// model and concurrent shard rebuilds.
+func TestServeLifecycleSharded(t *testing.T) {
+	testServeLifecycle(t, 4, 2)
+}
+
+func testServeLifecycle(t *testing.T, shards, rebuildWorkers int) {
 	path := writeStore(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, path, "127.0.0.1:0", "corr", 0, "global", 0.1, time.Hour, "", 0, ready)
+		errc <- run(ctx, options{
+			storePath: path, addr: "127.0.0.1:0", method: "corr", scope: "global",
+			smoothing: 0.1, refresh: time.Hour,
+			shards: shards, rebuildWorkers: rebuildWorkers,
+		}, ready)
 	}()
 	var base string
 	select {
@@ -102,24 +116,36 @@ func TestServeLifecycle(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, "", ":0", "corr", 0, "global", 0, 0, "-", 0, nil); err == nil {
+	base := func(path string) options {
+		return options{storePath: path, addr: ":0", method: "corr", scope: "global", persist: "-", shards: 1}
+	}
+	if err := run(ctx, base(""), nil); err == nil {
 		t.Error("missing store should fail")
 	}
-	if err := run(ctx, "/nonexistent.jsonl", ":0", "corr", 0, "global", 0, 0, "-", 0, nil); err == nil {
+	if err := run(ctx, base("/nonexistent.jsonl"), nil); err == nil {
 		t.Error("unreadable store should fail")
 	}
 	path := writeStore(t)
-	if err := run(ctx, path, ":0", "nope", 0, "global", 0, 0, "-", 0, nil); err == nil {
+	o := base(path)
+	o.method = "nope"
+	if err := run(ctx, o, nil); err == nil {
 		t.Error("unknown method should fail")
 	}
-	if err := run(ctx, path, ":0", "corr", 0, "sideways", 0, 0, "-", 0, nil); err == nil {
+	o = base(path)
+	o.scope = "sideways"
+	if err := run(ctx, o, nil); err == nil {
 		t.Error("unknown scope should fail")
+	}
+	o = base(path)
+	o.shards = -3
+	if err := run(ctx, o, nil); err == nil {
+		t.Error("negative shards should fail")
 	}
 	empty := filepath.Join(t.TempDir(), "empty.jsonl")
 	if err := store.New().Save(empty); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, empty, ":0", "corr", 0, "global", 0, 0, "-", 0, nil); err == nil {
+	if err := run(ctx, base(empty), nil); err == nil {
 		t.Error("empty store should fail")
 	}
 }

@@ -26,6 +26,7 @@ package corrfuse
 import (
 	"fmt"
 
+	"corrfuse/internal/quality"
 	"corrfuse/internal/triple"
 )
 
@@ -161,8 +162,25 @@ type Options struct {
 
 	// Parallelism sets the number of goroutines used by Score and Fuse
 	// for the PrecRec/PrecRecCorr family. 0 means GOMAXPROCS; 1 forces
-	// serial scoring.
+	// serial scoring. A ShardedFuser uses it as the number of shards
+	// scored concurrently.
 	Parallelism int
+
+	// Shards selects the subject-hash-sharded engine for models built
+	// through NewModel (and the serve layer): the dataset is partitioned
+	// into Shards subject-hash shards and an independent model is trained
+	// per shard. 0 or 1 keeps the monolithic engine. See ShardedFuser for
+	// the consistency contract.
+	Shards int
+
+	// RebuildWorkers bounds the goroutines training shard models
+	// concurrently in NewSharded and Rebuild. 0 means GOMAXPROCS.
+	RebuildWorkers int
+
+	// qualityFallback supplies per-source quality for sources a training
+	// slice has no labeled evidence about. NewSharded points it at a
+	// globally trained estimator when building the per-shard models.
+	qualityFallback quality.Params
 }
 
 // ClusterMode controls source clustering for correlation-aware methods.

@@ -82,6 +82,7 @@ func New(d *Dataset, opts Options) (*Fuser, error) {
 			Scope:     opts.Scope,
 			Smoothing: opts.Smoothing,
 			Train:     opts.Train,
+			Fallback:  opts.qualityFallback,
 		})
 		if err != nil {
 			return nil, err
@@ -188,6 +189,15 @@ func (f *Fuser) decideID(id TripleID) bool {
 		return u.Decide(id)
 	}
 	return f.alg.Probability(id) > 0.5
+}
+
+// decideScored is decideID for a triple whose probability is already
+// computed, sparing the probability lookup for the threshold methods.
+func (f *Fuser) decideScored(id TripleID, p float64) bool {
+	if u, ok := f.alg.(*baseline.UnionK); ok {
+		return u.Decide(id)
+	}
+	return p > 0.5
 }
 
 // Fuse scores every provided triple and returns the accepted set R — the

@@ -1,0 +1,71 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+
+	"corrfuse/internal/triple"
+)
+
+// FuzzCanonical checks the canonicalization invariants on arbitrary input:
+// no panic, idempotency (the property Apply's repeated-pass contract needs),
+// and the structural guarantees of the canonical form (no leading/trailing
+// space, no doubled internal spaces, no trailing period, no upper-case).
+//
+// The "x.." and "a ." seeds pin the regression the fuzzer originally found:
+// stripping only a single trailing period (or leaving the space a strip
+// exposes) made Canonical("x..") = "x." canonicalize differently on a
+// second pass.
+func FuzzCanonical(f *testing.F) {
+	for _, seed := range []string{
+		"", "  ", "  Barack   Obama  ", "PRESIDENT.", "a\tb\nc",
+		"x..", "a .", "v1.0", ". . .", "İstanbul.", "ümlaut  ss",
+		" nbsp ", "mixed unicode spaces.",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c := Canonical(s)
+		if again := Canonical(c); again != c {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, c, again)
+		}
+		if strings.HasPrefix(c, " ") || strings.HasSuffix(c, " ") {
+			t.Fatalf("Canonical(%q) = %q has edge whitespace", s, c)
+		}
+		if strings.Contains(c, "  ") {
+			t.Fatalf("Canonical(%q) = %q has uncollapsed spaces", s, c)
+		}
+		if strings.HasSuffix(c, ".") {
+			t.Fatalf("Canonical(%q) = %q keeps a trailing period", s, c)
+		}
+		for _, r := range c {
+			if unicode.IsUpper(r) && unicode.ToLower(r) != r {
+				t.Fatalf("Canonical(%q) = %q keeps upper-case %q", s, c, r)
+			}
+		}
+	})
+}
+
+// FuzzApply checks that a Normalizer with canonical-form alias targets is
+// idempotent on arbitrary triples: a second Apply pass must be a no-op, so
+// normalizing already-normalized data can never fork a triple identity.
+func FuzzApply(f *testing.F) {
+	f.Add("Barack Obama", "occupation", "US President")
+	f.Add("b.  obama", "OCCUPATION.", "president..")
+	f.Add("", "", "")
+	f.Add("x..", "p .", " . ")
+	f.Fuzz(func(t *testing.T, sub, pred, obj string) {
+		n := New()
+		n.MapPredicate("occupation", "profession")
+		n.MapEntity("barack obama", "obama")
+		n.MapEntity("b. obama", "obama")
+		n.MapValue("us president", "president")
+
+		in := triple.Triple{Subject: sub, Predicate: pred, Object: obj}
+		once := n.Apply(in)
+		if twice := n.Apply(once); twice != once {
+			t.Fatalf("Apply not idempotent: %v -> %v -> %v", in, once, twice)
+		}
+	})
+}

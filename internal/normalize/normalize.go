@@ -57,7 +57,11 @@ func (n *Normalizer) MapValue(alias, canonical string) {
 }
 
 // Canonical performs textual canonicalization: trim, collapse internal
-// whitespace, lower-case, and strip a trailing period.
+// whitespace, lower-case, and strip trailing periods. Stripping removes the
+// whole trailing run of periods and any whitespace the strip exposes
+// ("x.." and "x ." both canonicalize to "x"), so Canonical is idempotent —
+// Canonical(Canonical(s)) == Canonical(s) — which repeated Apply passes
+// rely on (see FuzzCanonical).
 func Canonical(s string) string {
 	var b strings.Builder
 	b.Grow(len(s))
@@ -75,8 +79,7 @@ func Canonical(s string) string {
 		b.WriteRune(unicode.ToLower(r))
 		started = true
 	}
-	out := b.String()
-	return strings.TrimSuffix(out, ".")
+	return strings.TrimRight(b.String(), ". ")
 }
 
 // Apply canonicalizes a triple and resolves its components through the alias

@@ -67,6 +67,17 @@ type Options struct {
 	// datasets benefit from a handful (the estimates for rare source
 	// combinations are otherwise noise).
 	MinJointSupport int
+
+	// Fallback, when non-nil, supplies per-source quality for sources the
+	// training slice carries no evidence about (sources providing none of
+	// the labeled triples). Counting such a source's precision as 0 would
+	// derive a false positive rate of 1 and wrongly turn its silence into
+	// strong evidence for a triple. Sharded training uses this: a shard's
+	// label slice can miss a source entirely, and the globally trained
+	// estimator stands in for it. With a Fallback set, an empty or
+	// all-false training slice is not an error — every source then runs
+	// on fallback quality and all joint statistics are unsupported.
+	Fallback Params
 }
 
 // Estimator computes per-source and joint quality metrics from the labeled
@@ -134,7 +145,7 @@ func NewEstimator(d *triple.Dataset, opts Options) (*Estimator, error) {
 			e.labelled = append(e.labelled, id)
 		}
 	}
-	if len(e.trueIDs) == 0 {
+	if len(e.trueIDs) == 0 && opts.Fallback == nil {
 		return nil, fmt.Errorf("quality: training set has no true triples")
 	}
 	e.buildBitsets()
@@ -233,10 +244,35 @@ func (e *Estimator) computeSingles() {
 				inScopeTrue++
 			}
 		}
+		if (provided == 0 || len(e.trueIDs) == 0) && e.opts.Fallback != nil {
+			// The training slice has no evidence about this source —
+			// or no true triples at all, leaving every recall
+			// denominator empty; inherit the source's quality from
+			// the fallback. Precision is back-derived from the
+			// Theorem 3.5 identity so the (p, r, q) triple stays
+			// internally consistent.
+			r := e.opts.Fallback.Recall(sid)
+			q := e.opts.Fallback.FPR(sid)
+			e.rec[s] = r
+			e.fpr[s] = q
+			e.prec[s] = derivePrecision(e.opts.Alpha, r, q)
+			continue
+		}
 		e.prec[s] = safeRatio(providedTrue+k, provided+2*k)
 		e.rec[s] = safeRatio(providedTrue+k, inScopeTrue+2*k)
 		e.fpr[s] = DeriveFPR(e.opts.Alpha, e.prec[s], e.rec[s])
 	}
+}
+
+// derivePrecision inverts the Theorem 3.5 identity q = α/(1−α)·(1−p)/p·r,
+// giving p = αr / (αr + (1−α)q). A source with no recall and no false
+// positives carries no information; its precision is reported as 0.
+func derivePrecision(alpha, r, q float64) float64 {
+	den := alpha*r + (1-alpha)*q
+	if den <= 0 {
+		return 0
+	}
+	return alpha * r / den
 }
 
 // safeRatio returns num/den, or 0 when den is 0.

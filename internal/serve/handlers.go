@@ -245,12 +245,17 @@ func (s *Server) handleRefuse(w http.ResponseWriter, r *http.Request) {
 	if err := s.persist(); err != nil {
 		s.logf("%v", err)
 	}
+	shards := 1
+	if len(sn.shardStats) > 0 {
+		shards = len(sn.shardStats)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"snapshotSeq": sn.seq,
 		"skipped":     skipped,
 		"triples":     sn.triples,
 		"accepted":    sn.accepted,
 		"method":      sn.fuser.MethodName(),
+		"shards":      shards,
 		"durationMs":  time.Since(begin).Milliseconds(),
 	})
 }

@@ -104,4 +104,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP corrfused_last_rebuild_seconds Duration of the last batch re-fusion.\n")
 	p("# TYPE corrfused_last_rebuild_seconds gauge\n")
 	p("corrfused_last_rebuild_seconds %.3f\n", time.Duration(s.m.lastRebuildNanos.Load()).Seconds())
+
+	shards := 1
+	if len(sn.shardStats) > 0 {
+		shards = len(sn.shardStats)
+	}
+	p("# HELP corrfused_shards Shards of the live batch model (1 = monolithic).\n")
+	p("# TYPE corrfused_shards gauge\n")
+	p("corrfused_shards %d\n", shards)
+	if len(sn.shardStats) > 0 {
+		p("# HELP corrfused_shard_rebuild_seconds Wall time of each shard's model build in the live snapshot.\n")
+		p("# TYPE corrfused_shard_rebuild_seconds gauge\n")
+		for _, st := range sn.shardStats {
+			p("corrfused_shard_rebuild_seconds{shard=\"%d\"} %.6f\n", st.Shard, st.Build.Seconds())
+		}
+		p("# HELP corrfused_shard_triples Distinct triples routed to each shard of the live snapshot.\n")
+		p("# TYPE corrfused_shard_triples gauge\n")
+		for _, st := range sn.shardStats {
+			p("corrfused_shard_triples{shard=\"%d\"} %d\n", st.Shard, st.Triples)
+		}
+		p("# HELP corrfused_shard_labeled Labeled triples in each shard's training slice.\n")
+		p("# TYPE corrfused_shard_labeled gauge\n")
+		for _, st := range sn.shardStats {
+			p("corrfused_shard_labeled{shard=\"%d\"} %d\n", st.Shard, st.Labeled)
+		}
+	}
 }

@@ -65,16 +65,16 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	s.live.Unlock()
 
 	begin := time.Now()
-	var fuser *corrfuse.Fuser
+	var fuser corrfuse.Model
 	var err error
 	if cur == nil {
 		opts := s.cfg.Options
 		if s.cfg.SubjectScope {
 			opts.Scope = corrfuse.NewScopeSubject(d)
 		}
-		fuser, err = corrfuse.New(d, opts)
+		fuser, err = corrfuse.NewModel(d, opts)
 	} else {
-		fuser, err = cur.fuser.Rebuild(d)
+		fuser, err = corrfuse.Rebuild(cur.fuser, d)
 	}
 	if err != nil {
 		return nil, false, err
@@ -96,10 +96,11 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 		s.store.SetFusion(st.Triple, st.Probability, acceptedSet[st.ID])
 	}
 
-	// Reseed the incremental scorer from the new quality model. The
-	// unsupervised baselines carry no quality model; the service then
-	// serves batch results only and inc stays nil.
-	inc, incErr := fuser.Incremental(s.cfg.PenalizeSilence)
+	// Reseed the incremental scorer from the new quality model (routed
+	// per shard for a sharded model). The unsupervised baselines carry no
+	// quality model; the service then serves batch results only and inc
+	// stays nil.
+	inc, incErr := fuser.Online(s.cfg.PenalizeSilence)
 	if incErr != nil {
 		inc = nil
 	}
@@ -121,6 +122,9 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 		builtAt:  time.Now(),
 		triples:  len(res.All),
 		accepted: len(res.Accepted),
+	}
+	if sh, ok := fuser.(*corrfuse.ShardedFuser); ok {
+		next.shardStats = sh.ShardStats()
 	}
 	if cur != nil {
 		next.seq = cur.seq + 1
@@ -156,6 +160,12 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	s.m.lastRebuildNanos.Store(int64(time.Since(begin)))
 	s.logf("serve: snapshot %d: %s over %d sources, %d triples → %d accepted in %v",
 		next.seq, fuser.MethodName(), d.NumSources(), next.triples, next.accepted, time.Since(begin).Round(time.Millisecond))
+	if len(next.shardStats) > 0 {
+		for _, st := range next.shardStats {
+			s.logf("serve: snapshot %d: shard %d: %d triples (%d labeled) built in %v",
+				next.seq, st.Shard, st.Triples, st.Labeled, st.Build.Round(time.Millisecond))
+		}
+	}
 	return next, false, nil
 }
 

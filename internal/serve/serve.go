@@ -40,6 +40,10 @@ import (
 type Config struct {
 	// Options are the fusion options for batch (re)builds. Supervised
 	// methods (the default PrecRecCorr) require gold labels in the store.
+	// Options.Shards > 1 selects the subject-hash-sharded engine: the
+	// store is partitioned by subject hash and the shard models are
+	// rebuilt concurrently (Options.RebuildWorkers goroutines), then
+	// swapped in atomically as one snapshot.
 	Options corrfuse.Options
 
 	// SubjectScope selects subject-scope accountability; the scope index
@@ -76,7 +80,9 @@ type observation struct {
 // snapshot is one immutable generation of the batch model. Readers load it
 // through an atomic pointer and use it without locks.
 type snapshot struct {
-	fuser *corrfuse.Fuser
+	// fuser is the trained batch model: the monolithic Fuser, or a
+	// ShardedFuser when Config.Options.Shards > 1.
+	fuser corrfuse.Model
 	// data is the dataset the fuser was trained on; it maps source names
 	// and triples to the IDs both models use. It is immutable.
 	data *corrfuse.Dataset
@@ -87,6 +93,9 @@ type snapshot struct {
 	builtAt  time.Time
 	triples  int
 	accepted int
+	// shardStats holds per-shard sizes and build timings when the model
+	// is sharded (nil for the monolithic engine); /metrics exposes them.
+	shardStats []corrfuse.ShardStat
 }
 
 // Server is the online fusion service. Build one with New, mount Handler,
@@ -101,7 +110,7 @@ type Server struct {
 	// Queries take the read lock only.
 	live struct {
 		sync.RWMutex
-		inc *corrfuse.Incremental
+		inc corrfuse.OnlineScorer
 		// data is the dataset inc's source IDs refer to (the current
 		// snapshot's dataset).
 		data    *corrfuse.Dataset

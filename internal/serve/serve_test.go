@@ -392,6 +392,170 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 	}
 }
 
+// seedStoreWide builds a training store spread over many subjects so a
+// subject-hash partition gives every shard data: per subject block, the two
+// copiers provide a true triple, bad provides a false one, and the copiers
+// share one false triple per 8 blocks.
+func seedStoreWide(t *testing.T, blocks int) *store.Store {
+	t.Helper()
+	st := store.New()
+	for i := 0; i < blocks; i++ {
+		st.Put(store.Entry{Triple: tr(fmt.Sprintf("wt%d", i), "v"), Sources: []string{"good1", "good2"}, Label: "true"})
+		if i%2 == 0 {
+			st.Put(store.Entry{Triple: tr(fmt.Sprintf("wf%d", i), "v"), Sources: []string{"bad"}, Label: "false"})
+		}
+		if i%8 == 0 {
+			st.Put(store.Entry{Triple: tr(fmt.Sprintf("wfs%d", i), "v"), Sources: []string{"good1", "good2"}, Label: "false"})
+		}
+		st.Put(store.Entry{Triple: tr(fmt.Sprintf("wu%d", i), "v"), Sources: []string{"good1", "good2"}})
+	}
+	return st
+}
+
+// TestShardedStress hammers a sharded service with concurrent writers,
+// readers and forced re-fusions (run under -race in CI). It checks the two
+// invariants the sharded rebuild path must keep under fire:
+//
+//   - no lost journal claims: after a final quiescent re-fusion, every
+//     claim issued during the storm is in the store with its provenance and
+//     is scored by the batch snapshot;
+//   - monotonically increasing snapshot versions: every observer sees
+//     /healthz snapshot sequence numbers non-decreasing, and each forced
+//     re-fusion returns a strictly larger sequence than the one before it.
+func TestShardedStress(t *testing.T) {
+	st := seedStoreWide(t, 48)
+	cfg := corrConfig()
+	cfg.Options.Shards = 3
+	cfg.Options.RebuildWorkers = 2
+	srv := newServer(t, st, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, ok := srv.snap.Load().fuser.(*corrfuse.ShardedFuser); !ok {
+		t.Fatalf("snapshot model is %T, want *corrfuse.ShardedFuser", srv.snap.Load().fuser)
+	}
+
+	const writers, readers, rounds = 4, 3, 25
+	type claim struct {
+		source string
+		t      triple.Triple
+	}
+	claims := make([][]claim, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			sources := []string{"good1", "good2", "bad"}
+			for i := 0; i < rounds; i++ {
+				c := claim{
+					source: sources[rng.Intn(len(sources))],
+					t:      tr(fmt.Sprintf("storm-%d-%d", w, rng.Intn(40)), "v"),
+				}
+				label := ""
+				if i%5 == 0 {
+					label = "true"
+				}
+				postJSON(t, ts.URL+"/v1/observe", Observation{
+					Source: c.source, Subject: c.t.Subject, Predicate: c.t.Predicate, Object: c.t.Object,
+					Label: label,
+				})
+				claims[w] = append(claims[w], c)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lastSeq := float64(0)
+			for i := 0; i < rounds; i++ {
+				sc := postJSON(t, ts.URL+"/v1/score", ScoreRequest{Triples: []triple.Triple{
+					tr("wu1", "v"), tr(fmt.Sprintf("storm-%d-%d", i%4, i%40), "v"),
+				}})
+				if seq := sc["snapshotSeq"].(float64); seq < lastSeq {
+					t.Errorf("reader %d: snapshot seq went backwards: %v after %v", r, seq, lastSeq)
+					return
+				} else {
+					lastSeq = seq
+				}
+				health, _ := getJSON(t, ts.URL+"/healthz")
+				if seq := health["snapshotSeq"].(float64); seq < lastSeq {
+					t.Errorf("reader %d: healthz seq went backwards: %v after %v", r, seq, lastSeq)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lastSeq := float64(0)
+		for i := 0; i < 6; i++ {
+			ref := postJSON(t, ts.URL+"/v1/refuse", struct{}{})
+			seq := ref["snapshotSeq"].(float64)
+			if seq <= lastSeq {
+				t.Errorf("forced re-fusion %d did not advance the snapshot: %v after %v", i, seq, lastSeq)
+				return
+			}
+			lastSeq = seq
+		}
+	}()
+	wg.Wait()
+
+	// Quiesce: one final forced re-fusion folds every journaled claim into
+	// the batch model.
+	postJSON(t, ts.URL+"/v1/refuse", struct{}{})
+	sn := srv.snap.Load()
+	if sn.version != srv.store.Version() {
+		t.Errorf("final snapshot at store version %d, store is at %d", sn.version, srv.store.Version())
+	}
+	if len(sn.shardStats) != 3 {
+		t.Errorf("final snapshot has %d shard stats, want 3", len(sn.shardStats))
+	}
+	for w := range claims {
+		for _, c := range claims[w] {
+			e, ok := st.Get(c.t)
+			if !ok {
+				t.Fatalf("claim %v lost from the store", c.t)
+			}
+			if !containsStr(e.Sources, c.source) {
+				t.Fatalf("claim (%s, %v) lost its provenance: %v", c.source, c.t, e.Sources)
+			}
+			id, ok := sn.data.TripleID(c.t)
+			if !ok {
+				t.Fatalf("claim %v missing from the final snapshot dataset", c.t)
+			}
+			if len(sn.data.Providers(id)) == 0 {
+				t.Fatalf("claim %v has no providers in the final snapshot", c.t)
+			}
+		}
+	}
+
+	// The sharded snapshot exposes per-shard build metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"corrfused_shards 3", `corrfused_shard_rebuild_seconds{shard="2"}`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
 // TestMetricsExposition: the endpoint emits the advertised families with
 // coherent values.
 func TestMetricsExposition(t *testing.T) {

@@ -1,0 +1,251 @@
+// Package shard partitions a fusion dataset by subject hash so that
+// independent per-shard models can be trained and queried concurrently.
+//
+// The paper's PrecRecCorr terms are per-pattern independent, and with a
+// subject-hash partition every triple about one subject lands in the same
+// shard, so subject-scoped accountability (triple.ScopeSubject) and
+// subject-local correlation survive the split exactly: a source's scope
+// within a shard equals its global scope restricted to the shard. Quality
+// statistics and correlations that span shards are approximated by
+// shard-local training (see the root package's ShardedFuser for the exact
+// consistency contract).
+//
+// The partition keeps every source registered in every shard in global
+// registration order, so triple.SourceID values are interchangeable between
+// the global dataset and any shard — quality parameters, clusters and
+// incremental scorers can be moved across the boundary without translation.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"corrfuse/internal/triple"
+)
+
+// FNV-1a constants (hash/fnv, inlined to keep hashing allocation-free).
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Of returns the shard index of a subject under an n-way partition: the
+// FNV-1a hash of the subject modulo n. It is the single routing function of
+// the sharded engine — datasets, batch models and online scorers must all
+// agree on it.
+func Of(subject string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(offset64)
+	for i := 0; i < len(subject); i++ {
+		h ^= uint64(subject[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// Partition is an n-way subject-hash split of a dataset. Each shard is a
+// self-contained triple.Dataset holding exactly the triples whose subject
+// hashes to it (observations and labels included), with the full source
+// table registered in global order. The partition records the two-way
+// TripleID mapping between the global dataset and the shards.
+//
+// A Partition is immutable after New and safe for concurrent use.
+type Partition struct {
+	global *triple.Dataset
+	shards []*triple.Dataset
+
+	// shardOf and localID map a global TripleID to its shard and its ID
+	// within that shard's dataset.
+	shardOf []int32
+	localID []triple.TripleID
+	// globalID[s][local] is the inverse mapping.
+	globalID [][]triple.TripleID
+}
+
+// New splits d into n subject-hash shards, building the shard datasets on
+// up to workers goroutines (<= 0 means GOMAXPROCS). n < 1 is treated as 1
+// (a single shard containing everything, useful as a degenerate case in
+// tests).
+//
+// Only the routing pass — one subject hash per triple — is serial; the
+// per-shard dataset builds (the expensive part: interning every triple and
+// observation into the shard's indexes) run concurrently, one goroutine per
+// shard. Each goroutine writes localID only at the indexes of its own
+// shard's triples, so the builds share no mutable state.
+func New(d *triple.Dataset, n, workers int) *Partition {
+	if n < 1 {
+		n = 1
+	}
+	p := &Partition{
+		global:   d,
+		shards:   make([]*triple.Dataset, n),
+		shardOf:  make([]int32, d.NumTriples()),
+		localID:  make([]triple.TripleID, d.NumTriples()),
+		globalID: make([][]triple.TripleID, n),
+	}
+	for i := 0; i < d.NumTriples(); i++ {
+		si := Of(d.Triple(triple.TripleID(i)).Subject, n)
+		p.shardOf[i] = int32(si)
+		p.globalID[si] = append(p.globalID[si], triple.TripleID(i))
+	}
+	// Build errors are impossible here (fn always returns nil).
+	ForEach(n, workers, func(si int) error {
+		ids := p.globalID[si]
+		sd := triple.NewDatasetCap(d.NumSources(), len(ids))
+		for _, s := range d.Sources() {
+			sd.AddSource(s.Name)
+		}
+		for _, id := range ids {
+			t := d.Triple(id)
+			var lid triple.TripleID
+			if provs := d.Providers(id); len(provs) > 0 {
+				for _, s := range provs {
+					lid = sd.Observe(s, t)
+				}
+				if l := d.Label(id); l != triple.Unknown {
+					sd.SetLabel(t, l)
+				}
+			} else {
+				// A label-only triple (gold truth missed by every
+				// source) still needs an ID in its shard.
+				lid = sd.SetLabel(t, d.Label(id))
+			}
+			p.localID[id] = lid
+		}
+		p.shards[si] = sd
+		return nil
+	})
+	return p
+}
+
+// NumShards returns the number of shards.
+func (p *Partition) NumShards() int { return len(p.shards) }
+
+// Global returns the dataset the partition was built from.
+func (p *Partition) Global() *triple.Dataset { return p.global }
+
+// Shard returns shard i's dataset. It must not be mutated.
+func (p *Partition) Shard(i int) *triple.Dataset { return p.shards[i] }
+
+// Locate maps a global TripleID to its shard and shard-local TripleID.
+func (p *Partition) Locate(id triple.TripleID) (shard int, local triple.TripleID) {
+	return int(p.shardOf[id]), p.localID[id]
+}
+
+// GlobalID maps a shard-local TripleID back to the global one.
+func (p *Partition) GlobalID(shard int, local triple.TripleID) triple.TripleID {
+	return p.globalID[shard][local]
+}
+
+// Sizes returns the number of triples routed to each shard.
+func (p *Partition) Sizes() []int {
+	out := make([]int, len(p.shards))
+	for i, sd := range p.shards {
+		out[i] = sd.NumTriples()
+	}
+	return out
+}
+
+// Validate checks the partition invariants: every global triple is mapped to
+// exactly one shard, the two-way ID mapping is consistent, every shard's
+// source table matches the global one, and every shard dataset is internally
+// consistent. Intended for tests.
+func (p *Partition) Validate() error {
+	total := 0
+	for si, sd := range p.shards {
+		if sd.NumSources() != p.global.NumSources() {
+			return fmt.Errorf("shard %d registers %d sources, global has %d", si, sd.NumSources(), p.global.NumSources())
+		}
+		for _, s := range p.global.Sources() {
+			if id, ok := sd.SourceID(s.Name); !ok || id != s.ID {
+				return fmt.Errorf("shard %d: source %q has ID %d, global %d", si, s.Name, id, s.ID)
+			}
+		}
+		if err := sd.Validate(); err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+		total += sd.NumTriples()
+		if len(p.globalID[si]) != sd.NumTriples() {
+			return fmt.Errorf("shard %d: %d globalID entries for %d triples", si, len(p.globalID[si]), sd.NumTriples())
+		}
+	}
+	if total != p.global.NumTriples() {
+		return fmt.Errorf("shards hold %d triples, global has %d", total, p.global.NumTriples())
+	}
+	for i := 0; i < p.global.NumTriples(); i++ {
+		id := triple.TripleID(i)
+		si, lid := p.Locate(id)
+		if want := Of(p.global.Triple(id).Subject, len(p.shards)); si != want {
+			return fmt.Errorf("triple %d routed to shard %d, subject hashes to %d", id, si, want)
+		}
+		if p.shards[si].Triple(lid) != p.global.Triple(id) {
+			return fmt.Errorf("triple %d maps to shard %d local %d holding a different triple", id, si, lid)
+		}
+		if back := p.GlobalID(si, lid); back != id {
+			return fmt.Errorf("triple %d round-trips to %d", id, back)
+		}
+		if lg, gl := p.global.Label(id), p.shards[si].Label(lid); lg != gl {
+			return fmt.Errorf("triple %d: label %v became %v in shard %d", id, lg, gl, si)
+		}
+		pg, pl := p.global.Providers(id), p.shards[si].Providers(lid)
+		if len(pg) != len(pl) {
+			return fmt.Errorf("triple %d: %d providers became %d in shard %d", id, len(pg), len(pl), si)
+		}
+		for j := range pg {
+			if pg[j] != pl[j] {
+				return fmt.Errorf("triple %d: provider %d is %d in shard %d, %d globally", id, j, pl[j], si, pg[j])
+			}
+		}
+	}
+	return nil
+}
+
+// ForEach runs fn(0), …, fn(n-1) across min(workers, n) goroutines
+// (workers <= 0 means GOMAXPROCS) and returns the first error encountered.
+// Work is handed out through an atomic counter, so uneven per-index costs
+// balance across workers. On error the remaining indexes may or may not run;
+// callers must treat the whole batch as failed.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		first   error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { first = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

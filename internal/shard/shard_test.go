@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"corrfuse/internal/triple"
+)
+
+func buildDataset(subjects, sourcesN int) *triple.Dataset {
+	d := triple.NewDataset()
+	srcs := make([]triple.SourceID, sourcesN)
+	for i := range srcs {
+		srcs[i] = d.AddSource(fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < subjects; i++ {
+		t := triple.Triple{Subject: fmt.Sprintf("e%d", i), Predicate: "p", Object: "v"}
+		for j := 0; j <= i%sourcesN; j++ {
+			d.Observe(srcs[j], t)
+		}
+		switch i % 3 {
+		case 0:
+			d.SetLabel(t, triple.True)
+		case 1:
+			d.SetLabel(t, triple.False)
+		}
+	}
+	// A gold triple no source provides.
+	d.SetLabel(triple.Triple{Subject: "gold-only", Predicate: "p", Object: "v"}, triple.True)
+	return d
+}
+
+func TestOfDeterministicAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		for i := 0; i < 100; i++ {
+			sub := fmt.Sprintf("subject-%d", i)
+			got := Of(sub, n)
+			if got < 0 || got >= n {
+				t.Fatalf("Of(%q, %d) = %d out of range", sub, n, got)
+			}
+			if again := Of(sub, n); again != got {
+				t.Fatalf("Of(%q, %d) not deterministic: %d then %d", sub, n, got, again)
+			}
+		}
+	}
+	if Of("anything", 0) != 0 || Of("anything", 1) != 0 {
+		t.Fatal("n <= 1 must route everything to shard 0")
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	d := buildDataset(200, 7)
+	for _, n := range []int{1, 2, 4, 9} {
+		p := New(d, n, 2)
+		if p.NumShards() != n {
+			t.Fatalf("NumShards = %d, want %d", p.NumShards(), n)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPartitionSpreadsSubjects(t *testing.T) {
+	d := buildDataset(400, 5)
+	p := New(d, 4, 0)
+	for i, size := range p.Sizes() {
+		if size == 0 {
+			t.Errorf("shard %d is empty over 400 subjects", i)
+		}
+	}
+}
+
+func TestPartitionKeepsSubjectsTogether(t *testing.T) {
+	d := triple.NewDataset()
+	s := d.AddSource("s")
+	for i := 0; i < 50; i++ {
+		sub := fmt.Sprintf("e%d", i%10) // 10 subjects, 5 predicates each
+		d.Observe(s, triple.Triple{Subject: sub, Predicate: fmt.Sprintf("p%d", i/10), Object: "v"})
+	}
+	p := New(d, 4, 0)
+	bySubject := make(map[string]int)
+	for i := 0; i < d.NumTriples(); i++ {
+		id := triple.TripleID(i)
+		si, _ := p.Locate(id)
+		sub := d.Triple(id).Subject
+		if prev, ok := bySubject[sub]; ok && prev != si {
+			t.Fatalf("subject %q split across shards %d and %d", sub, prev, si)
+		}
+		bySubject[sub] = si
+	}
+}
+
+func TestForEachCoversAllAndParallel(t *testing.T) {
+	const n = 1000
+	var hit [n]atomic.Int32
+	if err := ForEach(n, 8, func(i int) error {
+		hit[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hit {
+		if got := hit[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+	// Serial path.
+	count := 0
+	if err := ForEach(5, 1, func(i int) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("serial ForEach ran %d of 5", count)
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(100, 4, func(i int) error {
+		if i == 37 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if err := ForEach(3, 1, func(i int) error {
+		if i == 1 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("serial err = %v, want boom", err)
+	}
+}

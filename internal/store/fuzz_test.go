@@ -1,0 +1,48 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the JSONL loader and checks the two
+// contracts external data gets: malformed input returns an error (never a
+// panic), and anything the loader accepts survives a Write/Read round trip
+// as the identical store — the persistence path must be lossless for
+// whatever it admits.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(`{"triple":{"Subject":"s","Predicate":"p","Object":"o"},"sources":["a","b"],"label":"true"}`))
+	f.Add([]byte(`{"triple":{"Subject":"s","Predicate":"p","Object":"o"},"probability":0.75,"accepted":true}`))
+	f.Add([]byte("{\"triple\":{\"Subject\":\"s\",\"Predicate\":\"p\",\"Object\":\"o\"}}\n{\"triple\":{\"Subject\":\"s\",\"Predicate\":\"p\",\"Object\":\"o\"},\"sources\":[\"x\"]}\n"))
+	f.Add([]byte(`{"triple":`))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"triple":{"Subject":"\u001f","Predicate":"","Object":"o"},"sources":[""]}`))
+	f.Add([]byte(`{"probability":1e999}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New()
+		if err := s.Read(bytes.NewReader(data)); err != nil {
+			return // rejected input: an error is the contract
+		}
+		var buf bytes.Buffer
+		if err := s.Write(&buf); err != nil {
+			t.Fatalf("accepted store failed to serialize: %v", err)
+		}
+		s2 := New()
+		if err := s2.Read(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("round trip rejected by Read: %v\nserialized: %q", err, buf.Bytes())
+		}
+		if s2.Len() != s.Len() {
+			t.Fatalf("round trip changed Len: %d -> %d", s.Len(), s2.Len())
+		}
+		for _, e := range s.entries {
+			got, ok := s2.Get(e.Triple)
+			if !ok {
+				t.Fatalf("round trip lost %v", e.Triple)
+			}
+			if !reflect.DeepEqual(got, e) {
+				t.Fatalf("round trip changed %v:\n  before %+v\n  after  %+v", e.Triple, e, got)
+			}
+		}
+	})
+}

@@ -108,6 +108,22 @@ func NewDataset() *Dataset {
 	}
 }
 
+// NewDatasetCap returns an empty dataset with capacity hints for the number
+// of sources and distinct triples it will hold, so bulk loads (the shard
+// partitioner, store conversions) avoid incremental map and slice growth.
+// The hints are not limits.
+func NewDatasetCap(sources, triples int) *Dataset {
+	return &Dataset{
+		sourceByName: make(map[string]SourceID, sources),
+		tripleByKey:  make(map[Triple]TripleID, triples),
+		sources:      make([]Source, 0, sources),
+		outputs:      make([][]TripleID, 0, sources),
+		triples:      make([]Triple, 0, triples),
+		providers:    make([][]SourceID, 0, triples),
+		labels:       make([]Label, 0, triples),
+	}
+}
+
 // AddSource registers a source by name and returns its ID. Registering the
 // same name twice returns the existing ID.
 func (d *Dataset) AddSource(name string) SourceID {

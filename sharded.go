@@ -1,0 +1,467 @@
+package corrfuse
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"corrfuse/internal/quality"
+	"corrfuse/internal/shard"
+	"corrfuse/internal/triple"
+)
+
+// Model is the common read surface of the monolithic Fuser and the
+// ShardedFuser, so callers (notably internal/serve) can swap engines without
+// caring which one is behind a snapshot. Both implementations are immutable
+// and safe for concurrent use after construction.
+type Model interface {
+	MethodName() string
+	Probability(t Triple) (p float64, ok bool)
+	ProbabilityByID(id TripleID) float64
+	Score(ids []TripleID) []float64
+	Decide(t Triple) (accepted, known bool)
+	Fuse() (*Result, error)
+	Dataset() *Dataset
+	Options() Options
+	// Online derives an incremental scorer from the trained quality
+	// model; it fails for methods without one (the unsupervised
+	// baselines).
+	Online(penalizeSilence bool) (OnlineScorer, error)
+}
+
+// OnlineScorer is the surface of the O(1)-update online scorers: the
+// monolithic Incremental and the subject-hash-routed ShardedIncremental.
+// Implementations are NOT internally synchronized; callers serialize access
+// (internal/serve guards its scorer with the live lock).
+type OnlineScorer interface {
+	Observe(s SourceID, t Triple) (float64, error)
+	Probability(t Triple) (p float64, ok bool)
+	Providers(t Triple) int
+	Len() int
+}
+
+// NewModel builds the fusion model selected by opts: a ShardedFuser when
+// opts.Shards > 1, the monolithic Fuser otherwise.
+func NewModel(d *Dataset, opts Options) (Model, error) {
+	if opts.Shards > 1 {
+		return NewSharded(d, opts)
+	}
+	return New(d, opts)
+}
+
+// Rebuild trains a fresh model of the same kind as m over d, re-deriving
+// dataset-bound options the way Fuser.Rebuild does.
+func Rebuild(m Model, d *Dataset) (Model, error) {
+	switch f := m.(type) {
+	case *Fuser:
+		return f.Rebuild(d)
+	case *ShardedFuser:
+		return f.Rebuild(d)
+	default:
+		return nil, fmt.Errorf("corrfuse: cannot rebuild model of type %T", m)
+	}
+}
+
+// Online derives an OnlineScorer from the monolithic Fuser's quality model;
+// it is Incremental behind the Model interface.
+func (f *Fuser) Online(penalizeSilence bool) (OnlineScorer, error) {
+	inc, err := f.Incremental(penalizeSilence)
+	if err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// ShardStat reports one shard's size and build cost.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int
+	// Triples is the number of distinct triples routed to the shard.
+	Triples int
+	// Labeled is the number of labeled triples in the shard's training
+	// slice.
+	Labeled int
+	// Build is the wall time of the shard's model build.
+	Build time.Duration
+}
+
+// ShardedFuser is a subject-hash-sharded fusion engine: the dataset is
+// partitioned into Options.Shards shards (every triple about one subject
+// lands in the same shard), an independent Fuser is trained per shard
+// concurrently, and queries are routed by subject hash. It implements the
+// same Probability/Score/Fuse surface as the monolithic Fuser over the
+// global dataset's TripleIDs, with Fuse merging the shard results into one
+// globally ranked Result.
+//
+// Consistency contract. Each shard trains its quality estimator and
+// correlation clusters on its own label slice, so the sharded model equals
+// the monolithic one exactly when quality evidence and correlation are
+// subject-scoped and no source's data crosses shards — with
+// Options.Scope = NewScopeSubject and sources whose subjects all hash to
+// one shard, probabilities agree to floating-point roundoff (see
+// shard_differential_test.go). When a source's labels or a correlated
+// group's co-provisions spread over several shards, each shard estimates
+// from its slice: expectations are unchanged but estimator variance grows
+// roughly with the shard count, and cross-shard joint statistics lose
+// support (falling back to independence). Sources absent from a shard's
+// label slice inherit their globally estimated quality rather than
+// degenerate zero-precision estimates.
+type ShardedFuser struct {
+	d      *Dataset
+	opts   Options
+	part   *shard.Partition
+	fusers []*Fuser
+	stats  []ShardStat
+}
+
+// NewSharded builds a sharded fusion engine over d with opts.Shards shards,
+// training the shard models concurrently on Options.RebuildWorkers
+// goroutines (0 = GOMAXPROCS).
+func NewSharded(d *Dataset, opts Options) (*ShardedFuser, error) {
+	if d == nil {
+		return nil, fmt.Errorf("corrfuse: nil dataset")
+	}
+	if opts.Shards < 2 {
+		return nil, fmt.Errorf("corrfuse: NewSharded needs Shards >= 2, got %d", opts.Shards)
+	}
+	if opts.Scope == nil {
+		opts.Scope = ScopeGlobal{}
+	}
+	sf := &ShardedFuser{
+		d:      d,
+		opts:   opts,
+		part:   shard.New(d, opts.Shards, opts.RebuildWorkers),
+		fusers: make([]*Fuser, opts.Shards),
+		stats:  make([]ShardStat, opts.Shards),
+	}
+
+	// Shard options: a caller-supplied Train set holds global TripleIDs,
+	// which are translated per shard through the partition so every shard
+	// trains on exactly the slice of the restriction it owns (nil keeps
+	// the default: all labeled triples). Parallelism is forced serial
+	// inside a shard — the ShardedFuser parallelizes across shards and
+	// keeps one level of workers.
+	sub := opts
+	sub.Shards = 0
+	sub.Train = nil
+	sub.Parallelism = 1
+	var trainPerShard [][]TripleID
+	if opts.Train != nil {
+		trainPerShard = make([][]TripleID, opts.Shards)
+		for _, id := range opts.Train {
+			si, local := sf.part.Locate(id)
+			trainPerShard[si] = append(trainPerShard[si], local)
+		}
+	}
+
+	// For supervised methods, a globally trained estimator serves as the
+	// per-source quality fallback for sources a shard has no labeled
+	// evidence about. It is only built when some shard actually needs it
+	// (a cheap pre-pass over the label slices), keeping the serial
+	// fraction of a sharded rebuild minimal when labels cover every
+	// source everywhere. A globally label-less dataset always needs it,
+	// so the build surfaces "no true labels" as one clear error, exactly
+	// like the monolithic path.
+	if supervised(opts.Method) && anyShardNeedsFallback(sf.part, trainPerShard) {
+		est, err := quality.NewEstimator(d, quality.Options{
+			Alpha:     effectiveAlpha(opts.Alpha),
+			Scope:     opts.Scope,
+			Smoothing: opts.Smoothing,
+			Train:     opts.Train,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sub.qualityFallback = est
+	}
+
+	subjectScoped := false
+	if _, ok := opts.Scope.(*triple.ScopeSubject); ok {
+		subjectScoped = true
+	}
+
+	err := shard.ForEach(opts.Shards, opts.RebuildWorkers, func(i int) error {
+		begin := time.Now()
+		so := sub
+		if trainPerShard != nil {
+			// An empty (non-nil) slice keeps the restriction: a shard
+			// owning no training triple must not widen to all labels.
+			so.Train = trainPerShard[i]
+			if so.Train == nil {
+				so.Train = []TripleID{}
+			}
+		}
+		if subjectScoped {
+			// Re-index subject coverage for the shard's dataset. The
+			// subject-hash partition keeps a subject's triples in one
+			// shard, so the shard-local index equals the global one
+			// restricted to the shard.
+			so.Scope = NewScopeSubject(sf.part.Shard(i))
+		}
+		f, err := New(sf.part.Shard(i), so)
+		if err != nil {
+			return fmt.Errorf("corrfuse: shard %d: %w", i, err)
+		}
+		sf.fusers[i] = f
+		sf.stats[i] = ShardStat{
+			Shard:   i,
+			Triples: sf.part.Shard(i).NumTriples(),
+			Labeled: len(sf.part.Shard(i).Labeled()),
+			Build:   time.Since(begin),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sf, nil
+}
+
+// anyShardNeedsFallback reports whether any shard's training slice misses a
+// source entirely (no labeled triple provided) or has no true labels — the
+// two situations where per-shard estimation needs the global fallback.
+// trainPerShard, when non-nil, restricts each shard's slice the way the
+// shard estimators will be restricted (shard-local IDs); nil means all
+// labeled triples.
+func anyShardNeedsFallback(p *shard.Partition, trainPerShard [][]TripleID) bool {
+	for i := 0; i < p.NumShards(); i++ {
+		sd := p.Shard(i)
+		slice := sd.Labeled()
+		if trainPerShard != nil {
+			slice = trainPerShard[i]
+		}
+		provided := make([]bool, sd.NumSources())
+		hasTrue := false
+		for _, id := range slice {
+			if sd.Label(id) == Unknown {
+				continue
+			}
+			if sd.Label(id) == True {
+				hasTrue = true
+			}
+			for _, s := range sd.Providers(id) {
+				provided[s] = true
+			}
+		}
+		if !hasTrue {
+			return true
+		}
+		for _, ok := range provided {
+			if !ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// supervised reports whether the method trains a quality estimator.
+func supervised(m Method) bool {
+	switch m {
+	case PrecRec, PrecRecCorr, PrecRecCorrAggressive, PrecRecCorrElastic:
+		return true
+	}
+	return false
+}
+
+// effectiveAlpha applies New's Alpha defaulting.
+func effectiveAlpha(alpha float64) float64 {
+	if alpha == 0 {
+		return 0.5
+	}
+	return alpha
+}
+
+// NumShards returns the shard count.
+func (sf *ShardedFuser) NumShards() int { return len(sf.fusers) }
+
+// ShardStats returns per-shard sizes and build timings, in shard order.
+func (sf *ShardedFuser) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(sf.stats))
+	copy(out, sf.stats)
+	return out
+}
+
+// ShardFuser returns shard i's trained Fuser (its TripleIDs are local to the
+// shard's dataset). Exposed for inspection and tests.
+func (sf *ShardedFuser) ShardFuser(i int) *Fuser { return sf.fusers[i] }
+
+// MethodName returns the underlying method name tagged with the shard count.
+func (sf *ShardedFuser) MethodName() string {
+	return fmt.Sprintf("%s/%d-sharded", sf.fusers[0].MethodName(), len(sf.fusers))
+}
+
+// Dataset returns the global dataset the engine was built over.
+func (sf *ShardedFuser) Dataset() *Dataset { return sf.d }
+
+// Options returns the effective options the engine was built with.
+func (sf *ShardedFuser) Options() Options { return sf.opts }
+
+// shardFor routes a triple to its shard's Fuser by subject hash.
+func (sf *ShardedFuser) shardFor(t Triple) *Fuser {
+	return sf.fusers[shard.Of(t.Subject, len(sf.fusers))]
+}
+
+// Probability returns Pr(t true | observations) for a triple present in the
+// dataset; ok is false when the triple is unknown.
+func (sf *ShardedFuser) Probability(t Triple) (p float64, ok bool) {
+	return sf.shardFor(t).Probability(t)
+}
+
+// ProbabilityByID returns Pr(t true | observations) for a global TripleID.
+func (sf *ShardedFuser) ProbabilityByID(id TripleID) float64 {
+	si, local := sf.part.Locate(id)
+	return sf.fusers[si].ProbabilityByID(local)
+}
+
+// Decide reports whether the triple is accepted as true.
+func (sf *ShardedFuser) Decide(t Triple) (accepted, known bool) {
+	return sf.shardFor(t).Decide(t)
+}
+
+// Score computes probabilities for the given global TripleIDs, scoring the
+// shards concurrently with Options.Parallelism workers (0 = GOMAXPROCS,
+// 1 = serial).
+func (sf *ShardedFuser) Score(ids []TripleID) []float64 {
+	out := make([]float64, len(ids))
+	n := len(sf.fusers)
+	perShard := make([][]TripleID, n)
+	perIdx := make([][]int, n)
+	for i, id := range ids {
+		si, local := sf.part.Locate(id)
+		perShard[si] = append(perShard[si], local)
+		perIdx[si] = append(perIdx[si], i)
+	}
+	// Scoring cannot fail; ForEach's error path is unused here.
+	shard.ForEach(n, sf.opts.Parallelism, func(si int) error {
+		if len(perShard[si]) == 0 {
+			return nil
+		}
+		for j, p := range sf.fusers[si].Score(perShard[si]) {
+			out[perIdx[si][j]] = p
+		}
+		return nil
+	})
+	return out
+}
+
+// Fuse scores every provided triple shard by shard (concurrently, with
+// Options.Parallelism workers) and merges the shard results into one
+// globally ranked Result keyed by global TripleIDs. Unlike chaining the
+// per-shard Fuse results, the merge ranks once globally — per-shard
+// orderings would be thrown away anyway.
+func (sf *ShardedFuser) Fuse() (*Result, error) {
+	n := len(sf.fusers)
+	partial := make([][]ScoredTriple, n)
+	accepted := make([][]bool, n)
+	err := shard.ForEach(n, sf.opts.Parallelism, func(si int) error {
+		f := sf.fusers[si]
+		sd := f.Dataset()
+		var local []TripleID
+		for i := 0; i < sd.NumTriples(); i++ {
+			if len(sd.Providers(TripleID(i))) > 0 {
+				local = append(local, TripleID(i))
+			}
+		}
+		scores := f.Score(local)
+		out := make([]ScoredTriple, len(local))
+		acc := make([]bool, len(local))
+		for j, lid := range local {
+			gid := sf.part.GlobalID(si, lid)
+			out[j] = ScoredTriple{Triple: sf.d.Triple(gid), ID: gid, Probability: scores[j]}
+			acc[j] = f.decideScored(lid, scores[j])
+		}
+		partial[si] = out
+		accepted[si] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := &Result{}
+	for si := range partial {
+		merged.All = append(merged.All, partial[si]...)
+		for j, ok := range accepted[si] {
+			if ok {
+				merged.Accepted = append(merged.Accepted, partial[si][j])
+			}
+		}
+	}
+	byProb := func(list []ScoredTriple) {
+		sort.SliceStable(list, func(a, b int) bool {
+			return list[a].Probability > list[b].Probability
+		})
+	}
+	byProb(merged.All)
+	byProb(merged.Accepted)
+	return merged, nil
+}
+
+// Rebuild trains a new ShardedFuser over d with this engine's options,
+// mirroring Fuser.Rebuild: Train is cleared (its IDs belong to the original
+// dataset) and a subject scope is re-indexed for d.
+func (sf *ShardedFuser) Rebuild(d *Dataset) (*ShardedFuser, error) {
+	if d == nil {
+		return nil, fmt.Errorf("corrfuse: Rebuild with nil dataset")
+	}
+	opts := sf.opts
+	opts.Train = nil
+	if _, ok := opts.Scope.(*triple.ScopeSubject); ok {
+		opts.Scope = NewScopeSubject(d)
+	}
+	return NewSharded(d, opts)
+}
+
+// Online derives a subject-hash-routed online scorer: one Incremental per
+// shard, each seeded with its shard's quality model, behind the routing
+// function the batch engine uses. It fails when the underlying method has
+// no quality model.
+func (sf *ShardedFuser) Online(penalizeSilence bool) (OnlineScorer, error) {
+	incs := make([]*Incremental, len(sf.fusers))
+	for i, f := range sf.fusers {
+		inc, err := f.Incremental(penalizeSilence)
+		if err != nil {
+			return nil, fmt.Errorf("corrfuse: shard %d: %w", i, err)
+		}
+		incs[i] = inc
+	}
+	return &ShardedIncremental{incs: incs}, nil
+}
+
+// ShardedIncremental routes online claims to per-shard incremental scorers
+// by subject hash, so live probabilities agree with the shard that will
+// score the triple at the next batch rebuild. Like Incremental, it is not
+// internally synchronized.
+type ShardedIncremental struct {
+	incs []*Incremental
+}
+
+func (si *ShardedIncremental) route(t Triple) *Incremental {
+	return si.incs[shard.Of(t.Subject, len(si.incs))]
+}
+
+// Observe records that source s provides t, updating the owning shard's
+// scorer in O(1). It returns the updated probability.
+func (si *ShardedIncremental) Observe(s SourceID, t Triple) (float64, error) {
+	return si.route(t).Observe(s, t)
+}
+
+// Probability returns the current probability of t; ok is false for triples
+// never observed.
+func (si *ShardedIncremental) Probability(t Triple) (p float64, ok bool) {
+	return si.route(t).Probability(t)
+}
+
+// Providers returns how many sources currently provide t.
+func (si *ShardedIncremental) Providers(t Triple) int {
+	return si.route(t).Providers(t)
+}
+
+// Len returns the number of distinct triples observed across all shards.
+func (si *ShardedIncremental) Len() int {
+	n := 0
+	for _, inc := range si.incs {
+		n += inc.Len()
+	}
+	return n
+}
