@@ -20,6 +20,7 @@ import (
 	"corrfuse/internal/dataset"
 	"corrfuse/internal/experiments"
 	"corrfuse/internal/quality"
+	"corrfuse/internal/shard"
 	"corrfuse/internal/triple"
 )
 
@@ -507,6 +508,88 @@ func BenchmarkShardScoreSharded8(b *testing.B) {
 		sf.Score(ids)
 	}
 }
+
+// --- Dirty-shard partial rebuilds: wall time ∝ dirty fraction --------------
+
+// dirtyShardMutation clones the 52k-triple store-scale dataset and adds a
+// handful of unlabeled claims per dirty shard (existing sources, existing
+// subjects), the change profile of a heavy ingest stream between refreshes.
+// Labels stay untouched, so the partial rebuild's fallback-reuse fast path
+// applies and the rebuild is exact.
+func dirtyShardMutation(b *testing.B, d *triple.Dataset, shards int, dirty []int) *triple.Dataset {
+	b.Helper()
+	d2 := d.Clone()
+	want := make(map[int]int, len(dirty))
+	for _, g := range dirty {
+		want[g] = 32 // new claims per dirty shard
+	}
+	src, ok := d2.SourceID("indep-0")
+	if !ok {
+		b.Fatal("benchmark dataset misses indep-0")
+	}
+	for s := 0; s < 13000; s++ {
+		sub := fmt.Sprintf("entity-%05d", s)
+		g := shard.Of(sub, shards)
+		if want[g] == 0 {
+			continue
+		}
+		want[g]--
+		d2.Observe(src, triple.Triple{Subject: sub, Predicate: "p-fresh", Object: "v"})
+	}
+	for g, left := range want {
+		if left > 0 {
+			b.Fatalf("shard %d short %d mutation subjects", g, left)
+		}
+	}
+	return d2
+}
+
+// benchRebuildDirty measures RebuildPartial over the 52k-triple store with
+// the given dirty shards of 8: the refresh path's model-retraining cost when
+// only a fraction of the subject space changed since the last snapshot.
+func benchRebuildDirty(b *testing.B, dirty []int) {
+	d := shardBenchDataset(b)
+	opts := shardBenchOpts()
+	opts.Shards = 8
+	opts.RebuildWorkers = 8
+	sf, err := corrfuse.NewSharded(d, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d2 := dirtyShardMutation(b, d, opts.Shards, dirty)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := sf.RebuildPartial(d2, dirty)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reused := 0
+			for _, st := range next.ShardStats() {
+				if st.Reused {
+					reused++
+				}
+			}
+			if reused != opts.Shards-len(dirty) {
+				b.Fatalf("reused %d shards, want %d", reused, opts.Shards-len(dirty))
+			}
+		}
+	}
+}
+
+// BenchmarkRebuildDirty1of8 is the acceptance benchmark: retraining 1 dirty
+// shard of 8 must land well below the full-rebuild wall
+// (BenchmarkRebuildFull8of8 / BenchmarkShardTrainSharded8).
+func BenchmarkRebuildDirty1of8(b *testing.B) { benchRebuildDirty(b, []int{0}) }
+
+// BenchmarkRebuildDirty4of8 shows the wall time growing with the dirty
+// fraction, not the store size.
+func BenchmarkRebuildDirty4of8(b *testing.B) { benchRebuildDirty(b, []int{0, 1, 2, 3}) }
+
+// BenchmarkRebuildFull8of8 drives the same partial path with every shard
+// dirty — the full-rebuild baseline through identical code, making the
+// 1-of-8 / 4-of-8 / 8-of-8 proportionality directly comparable.
+func BenchmarkRebuildFull8of8(b *testing.B) { benchRebuildDirty(b, []int{0, 1, 2, 3, 4, 5, 6, 7}) }
 
 // BenchmarkEstimatorJointStats measures the bitset-backed joint statistics.
 func BenchmarkEstimatorJointStats(b *testing.B) {

@@ -9,7 +9,7 @@
 //	      [-method precrec|corr|aggressive|elastic|union|3est|ltm]
 //	      [-alpha 0.5] [-scope global|subject] [-smoothing 0]
 //	      [-refresh 30s] [-persist out.jsonl] [-parallelism 0]
-//	      [-shards 1] [-rebuild-workers 0]
+//	      [-shards 1] [-rebuild-workers 0] [-partial-rebuild]
 //
 // Endpoints (all JSON):
 //
@@ -25,7 +25,11 @@
 // With -shards N (N > 1) the store is partitioned by subject hash and every
 // batch re-fusion trains the N shard models concurrently on
 // -rebuild-workers goroutines, swapping them in atomically as one snapshot;
-// /metrics then reports per-shard rebuild timings.
+// /metrics then reports per-shard rebuild timings. -partial-rebuild
+// (default on, effective only when sharded) makes those re-fusions retrain
+// only the shards whose subjects changed since the last snapshot, adopting
+// every clean shard's model verbatim — model retraining, the dominant cost
+// of a refresh, then tracks the change rate rather than the store size.
 package main
 
 import (
@@ -61,6 +65,7 @@ type options struct {
 	parallelism    int
 	shards         int
 	rebuildWorkers int
+	partialRebuild bool
 }
 
 func main() {
@@ -76,6 +81,7 @@ func main() {
 	flag.IntVar(&o.parallelism, "parallelism", 0, "scoring goroutines per batch (0 = GOMAXPROCS)")
 	flag.IntVar(&o.shards, "shards", 1, "subject-hash shards for the batch model (1 = monolithic)")
 	flag.IntVar(&o.rebuildWorkers, "rebuild-workers", 0, "goroutines rebuilding shard models concurrently (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.partialRebuild, "partial-rebuild", true, "retrain only dirty shards on re-fusions (effective with -shards > 1)")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -122,6 +128,7 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		Shards:         o.shards,
 		RebuildWorkers: o.rebuildWorkers,
 	}
+	cfg.PartialRebuild = o.partialRebuild && o.shards > 1
 	switch o.method {
 	case "precrec":
 		cfg.Options.Method = corrfuse.PrecRec

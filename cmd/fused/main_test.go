@@ -53,7 +53,7 @@ func testServeLifecycle(t *testing.T, shards, rebuildWorkers int) {
 		errc <- run(ctx, options{
 			storePath: path, addr: "127.0.0.1:0", method: "corr", scope: "global",
 			smoothing: 0.1, refresh: time.Hour,
-			shards: shards, rebuildWorkers: rebuildWorkers,
+			shards: shards, rebuildWorkers: rebuildWorkers, partialRebuild: true,
 		}, ready)
 	}()
 	var base string
@@ -87,7 +87,21 @@ func testServeLifecycle(t *testing.T, shards, rebuildWorkers int) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var refuse map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&refuse); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
+	if shards > 1 {
+		// -partial-rebuild routed the forced re-fusion through the
+		// dirty-shard path: only the ingested claim's shard retrained.
+		if got, ok := refuse["rebuiltShards"].(float64); !ok || int(got) != 1 {
+			t.Errorf("refuse rebuiltShards = %v, want 1", refuse["rebuiltShards"])
+		}
+		if got, ok := refuse["reusedShards"].(float64); !ok || int(got) != shards-1 {
+			t.Errorf("refuse reusedShards = %v, want %d", refuse["reusedShards"], shards-1)
+		}
+	}
 
 	cancel()
 	select {

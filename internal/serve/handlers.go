@@ -249,7 +249,7 @@ func (s *Server) handleRefuse(w http.ResponseWriter, r *http.Request) {
 	if len(sn.shardStats) > 0 {
 		shards = len(sn.shardStats)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"snapshotSeq": sn.seq,
 		"skipped":     skipped,
 		"triples":     sn.triples,
@@ -257,7 +257,13 @@ func (s *Server) handleRefuse(w http.ResponseWriter, r *http.Request) {
 		"method":      sn.fuser.MethodName(),
 		"shards":      shards,
 		"durationMs":  time.Since(begin).Milliseconds(),
-	})
+	}
+	if len(sn.shardStats) > 0 {
+		rebuilt, reused := sn.rebuildCounts()
+		out["rebuiltShards"] = rebuilt
+		out["reusedShards"] = reused
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

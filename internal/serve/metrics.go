@@ -20,6 +20,15 @@ type metrics struct {
 	scored       counter // triples scored via /v1/score
 	rebuilds     counter
 	rebuildSkips counter
+	// partialRebuilds counts rebuilds routed through the dirty-shard
+	// partial path (a subset of rebuilds).
+	partialRebuilds counter
+
+	// onlineDisabled is a gauge: 1 while the live snapshot serves without
+	// an incremental scorer (unsupervised method, or a scorer that failed
+	// to derive/seed/replay — the log says which), 0 when live scoring is
+	// up. It distinguishes batch-only degradation from normal operation.
+	onlineDisabled atomic.Uint64
 
 	lastRebuildNanos atomic.Int64
 }
@@ -101,6 +110,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP corrfused_rebuild_skips_total Re-fusions skipped because the store was unchanged.\n")
 	p("# TYPE corrfused_rebuild_skips_total counter\n")
 	p("corrfused_rebuild_skips_total %d\n", s.m.rebuildSkips.Load())
+	p("# HELP corrfused_partial_rebuilds_total Re-fusions that retrained only the dirty shards.\n")
+	p("# TYPE corrfused_partial_rebuilds_total counter\n")
+	p("corrfused_partial_rebuilds_total %d\n", s.m.partialRebuilds.Load())
+	p("# HELP corrfused_online_disabled 1 while the service runs batch-only (no incremental scorer), 0 when live scoring is up.\n")
+	p("# TYPE corrfused_online_disabled gauge\n")
+	p("corrfused_online_disabled %d\n", s.m.onlineDisabled.Load())
 	p("# HELP corrfused_last_rebuild_seconds Duration of the last batch re-fusion.\n")
 	p("# TYPE corrfused_last_rebuild_seconds gauge\n")
 	p("corrfused_last_rebuild_seconds %.3f\n", time.Duration(s.m.lastRebuildNanos.Load()).Seconds())
@@ -113,6 +128,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE corrfused_shards gauge\n")
 	p("corrfused_shards %d\n", shards)
 	if len(sn.shardStats) > 0 {
+		rebuilt, reused := sn.rebuildCounts()
+		p("# HELP corrfused_shards_rebuilt Shards retrained for the live snapshot.\n")
+		p("# TYPE corrfused_shards_rebuilt gauge\n")
+		p("corrfused_shards_rebuilt %d\n", rebuilt)
+		p("# HELP corrfused_shards_reused Shards adopted verbatim from the previous snapshot's model.\n")
+		p("# TYPE corrfused_shards_reused gauge\n")
+		p("corrfused_shards_reused %d\n", reused)
+		p("# HELP corrfused_shard_reused Whether each shard of the live snapshot was adopted (1) or retrained (0).\n")
+		p("# TYPE corrfused_shard_reused gauge\n")
+		for _, st := range sn.shardStats {
+			v := 0
+			if st.Reused {
+				v = 1
+			}
+			p("corrfused_shard_reused{shard=\"%d\"} %d\n", st.Shard, v)
+		}
 		p("# HELP corrfused_shard_rebuild_seconds Wall time of each shard's model build in the live snapshot.\n")
 		p("# TYPE corrfused_shard_rebuild_seconds gauge\n")
 		for _, st := range sn.shardStats {

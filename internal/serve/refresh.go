@@ -37,11 +37,25 @@ func (s *Server) refresher() {
 // Concurrency protocol: the store capture happens under the live write lock,
 // so every journal entry recorded before the capture is already in the
 // store (ingest writes the store before journaling, and journaling needs
-// the same lock). The long model build then runs without any lock. At swap
-// time the journal suffix — claims ingested during the build, which the
-// capture may have missed — is replayed onto the new incremental scorer;
-// replaying a claim the capture did include is harmless because
-// Incremental.Observe is idempotent.
+// the same lock). The per-shard version capture is a separate store-lock
+// acquisition: ingest writes the store before taking the live lock, so a
+// claim can land between the two reads. Versions are therefore captured
+// BEFORE the dataset — an interleaved claim then appears in the dataset
+// with its version bump unrecorded, and the next diff over-states dirtiness
+// (an extra retrain, never a stale adoption); any remaining understatement
+// is backstopped by shard.RebuildPartial verifying every adoption against
+// the new capture. The long model build then runs without any lock. At swap
+// time the journal suffix —
+// claims ingested during the build, which the capture may have missed — is
+// replayed onto the new incremental scorer; replaying a claim the capture
+// did include is harmless because Incremental.Observe is idempotent.
+//
+// Online-scorer failures never abort a rebuild: by the time the scorer is
+// seeded, SetFusion has already written the new model's results back to the
+// store, so bailing out would leave store-backed endpoints (/v1/subject,
+// /v1/accepted) serving the new model against a snapshot still serving the
+// old one. The service instead degrades to batch-only (inc = nil), logs the
+// cause once, raises the online_disabled gauge, and completes the swap.
 func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	s.rebuildMu.Lock()
 	defer s.rebuildMu.Unlock()
@@ -60,6 +74,7 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 		s.m.rebuildSkips.Add(1)
 		return cur, true, nil
 	}
+	shardVers := s.store.ShardVersions()
 	d := s.store.Dataset()
 	journalStart := len(s.live.journal)
 	s.live.Unlock()
@@ -67,12 +82,16 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	begin := time.Now()
 	var fuser corrfuse.Model
 	var err error
+	partial := false
 	if cur == nil {
 		opts := s.cfg.Options
 		if s.cfg.SubjectScope {
 			opts.Scope = corrfuse.NewScopeSubject(d)
 		}
 		fuser, err = corrfuse.NewModel(d, opts)
+	} else if sh, dirty, ok := s.partialPlan(cur, shardVers); ok {
+		fuser, err = sh.RebuildPartial(d, dirty)
+		partial = true
 	} else {
 		fuser, err = corrfuse.Rebuild(cur.fuser, d)
 	}
@@ -99,29 +118,31 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	// Reseed the incremental scorer from the new quality model (routed
 	// per shard for a sharded model). The unsupervised baselines carry no
 	// quality model; the service then serves batch results only and inc
-	// stays nil.
+	// stays nil — the log line and the online_disabled gauge tell that
+	// state apart from a healthy supervised deployment.
 	inc, incErr := fuser.Online(s.cfg.PenalizeSilence)
+	if s.testOnlineHook != nil {
+		inc, incErr = s.testOnlineHook(inc, incErr)
+	}
 	if incErr != nil {
 		inc = nil
+		s.logf("serve: online scorer unavailable, serving batch results only: %v", incErr)
 	}
 	if inc != nil {
-		for si := 0; si < d.NumSources(); si++ {
-			sid := triple.SourceID(si)
-			for _, id := range d.Output(sid) {
-				if _, err := inc.Observe(sid, d.Triple(id)); err != nil {
-					return nil, false, err
-				}
-			}
+		if err := seedOnline(inc, d); err != nil {
+			inc = nil
+			s.logf("serve: online scorer seeding failed, serving batch results only: %v", err)
 		}
 	}
 
 	next := &snapshot{
-		fuser:    fuser,
-		data:     d,
-		version:  version,
-		builtAt:  time.Now(),
-		triples:  len(res.All),
-		accepted: len(res.Accepted),
+		fuser:         fuser,
+		data:          d,
+		version:       version,
+		shardVersions: shardVers,
+		builtAt:       time.Now(),
+		triples:       len(res.All),
+		accepted:      len(res.Accepted),
 	}
 	if sh, ok := fuser.(*corrfuse.ShardedFuser); ok {
 		next.shardStats = sh.ShardStats()
@@ -135,11 +156,16 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	s.live.Lock()
 	if inc != nil {
 		for _, o := range s.live.journal[journalStart:] {
-			if sid, ok := d.SourceID(o.source); ok {
-				if _, err := inc.Observe(sid, o.t); err != nil {
-					s.live.Unlock()
-					return nil, false, err
-				}
+			sid, ok := d.SourceID(o.source)
+			if !ok {
+				continue
+			}
+			if _, err := inc.Observe(sid, o.t); err != nil {
+				// The store already holds the new model's results;
+				// degrade to batch-only rather than abort mid-swap.
+				inc = nil
+				s.logf("serve: journal replay failed, serving batch results only: %v", err)
+				break
 			}
 		}
 	}
@@ -156,17 +182,75 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	s.snap.Store(next)
 	s.live.Unlock()
 
+	if inc == nil {
+		s.m.onlineDisabled.Store(1)
+	} else {
+		s.m.onlineDisabled.Store(0)
+	}
 	s.m.rebuilds.Add(1)
+	if partial {
+		s.m.partialRebuilds.Add(1)
+	}
 	s.m.lastRebuildNanos.Store(int64(time.Since(begin)))
 	s.logf("serve: snapshot %d: %s over %d sources, %d triples → %d accepted in %v",
 		next.seq, fuser.MethodName(), d.NumSources(), next.triples, next.accepted, time.Since(begin).Round(time.Millisecond))
 	if len(next.shardStats) > 0 {
+		rebuilt, reused := next.rebuildCounts()
+		s.logf("serve: snapshot %d: %d shards rebuilt, %d reused", next.seq, rebuilt, reused)
 		for _, st := range next.shardStats {
+			if st.Reused {
+				continue
+			}
 			s.logf("serve: snapshot %d: shard %d: %d triples (%d labeled) built in %v",
 				next.seq, st.Shard, st.Triples, st.Labeled, st.Build.Round(time.Millisecond))
 		}
 	}
 	return next, false, nil
+}
+
+// partialPlan decides whether the next rebuild can go through the
+// dirty-shard partial path, and with which dirty set: partial rebuilds must
+// be enabled, the current model sharded, and the current snapshot must carry
+// a per-shard version capture matching the tracked shard count. The returned
+// dirty set holds the shards whose store version moved since that capture.
+func (s *Server) partialPlan(cur *snapshot, shardVers []uint64) (*corrfuse.ShardedFuser, []int, bool) {
+	if !s.cfg.PartialRebuild || cur == nil {
+		return nil, nil, false
+	}
+	sh, ok := cur.fuser.(*corrfuse.ShardedFuser)
+	if !ok {
+		return nil, nil, false
+	}
+	if sh.Options().Train != nil {
+		// RebuildPartial would delegate to a full rebuild for a
+		// Train-restricted engine (only the initial snapshot can be one:
+		// every rebuild clears Train); don't report that as partial.
+		return nil, nil, false
+	}
+	if len(shardVers) == 0 || len(shardVers) != len(cur.shardVersions) || len(shardVers) != sh.NumShards() {
+		return nil, nil, false
+	}
+	var dirty []int
+	for i, v := range shardVers {
+		if v != cur.shardVersions[i] {
+			dirty = append(dirty, i)
+		}
+	}
+	return sh, dirty, true
+}
+
+// seedOnline replays every observation of the captured dataset onto a
+// freshly derived incremental scorer.
+func seedOnline(inc corrfuse.OnlineScorer, d *corrfuse.Dataset) error {
+	for si := 0; si < d.NumSources(); si++ {
+		sid := triple.SourceID(si)
+		for _, id := range d.Output(sid) {
+			if _, err := inc.Observe(sid, d.Triple(id)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // ingest applies one claim: store first (so a concurrent capture that

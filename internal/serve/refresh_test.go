@@ -1,0 +1,331 @@
+// Failure-injection tests for the refresh path: online-scorer failures must
+// degrade the service to batch-only instead of aborting a rebuild whose
+// results are already written back to the store, and the dirty-shard partial
+// path must reuse clean shards while producing the same probabilities as a
+// full rebuild.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"corrfuse"
+	"corrfuse/internal/shard"
+	"corrfuse/internal/triple"
+)
+
+// failingScorer wraps a real online scorer and fails Observe — always when
+// failAll is set, or only for one specific triple otherwise.
+type failingScorer struct {
+	inner   corrfuse.OnlineScorer
+	failAll bool
+	failOn  triple.Triple
+}
+
+func (f *failingScorer) Observe(s corrfuse.SourceID, t triple.Triple) (float64, error) {
+	if f.failAll || t == f.failOn {
+		return 0, fmt.Errorf("injected Observe failure for %v", t)
+	}
+	return f.inner.Observe(s, t)
+}
+
+func (f *failingScorer) Probability(t triple.Triple) (float64, bool) { return f.inner.Probability(t) }
+func (f *failingScorer) Providers(t triple.Triple) int               { return f.inner.Providers(t) }
+func (f *failingScorer) Len() int                                    { return f.inner.Len() }
+
+// logCollector captures Logf lines for assertions.
+type logCollector struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lc *logCollector) logf(format string, args ...any) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+}
+
+func (lc *logCollector) contains(sub string) bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for _, l := range lc.lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func metricsText(t *testing.T, srv *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func liveInc(srv *Server) corrfuse.OnlineScorer {
+	srv.live.RLock()
+	defer srv.live.RUnlock()
+	return srv.live.inc
+}
+
+// TestOnlineUnavailableIsSignalled: an unsupervised method has no online
+// scorer; the service must come up batch-only, log the cause, and raise the
+// online_disabled gauge so operators can tell this state from a healthy
+// supervised deployment.
+func TestOnlineUnavailableIsSignalled(t *testing.T) {
+	var lc logCollector
+	cfg := Config{
+		Options: corrfuse.Options{Method: corrfuse.UnionK},
+		Logf:    lc.logf,
+	}
+	srv := newServer(t, seedStore(t), cfg)
+	if liveInc(srv) != nil {
+		t.Fatal("unsupervised method produced an online scorer")
+	}
+	if !lc.contains("online scorer unavailable") {
+		t.Errorf("degradation not logged; lines: %v", lc.lines)
+	}
+	if text := metricsText(t, srv); !strings.Contains(text, "corrfused_online_disabled 1") {
+		t.Error("online_disabled gauge not raised")
+	}
+	// Rebuilds keep working batch-only, and ingests fall back to stored
+	// batch probabilities.
+	srv.ingest(Observation{Source: "good1", Subject: "t0", Predicate: "p", Object: "v"})
+	sn, _, err := srv.rebuild(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.seq != 2 {
+		t.Fatalf("seq = %d, want 2", sn.seq)
+	}
+}
+
+// TestSeedFailureCompletesSwap: when the freshly derived scorer fails while
+// being seeded from the captured dataset, the rebuild must still swap the
+// new snapshot in (the store already holds its results) and degrade to
+// batch-only — not return an error after SetFusion.
+func TestSeedFailureCompletesSwap(t *testing.T) {
+	var lc logCollector
+	cfg := corrConfig()
+	cfg.Logf = lc.logf
+	srv := newServer(t, seedStore(t), cfg)
+	if liveInc(srv) == nil {
+		t.Fatal("supervised config came up without an online scorer")
+	}
+	if text := metricsText(t, srv); !strings.Contains(text, "corrfused_online_disabled 0") {
+		t.Error("online_disabled gauge raised on a healthy deployment")
+	}
+
+	srv.testOnlineHook = func(inc corrfuse.OnlineScorer, err error) (corrfuse.OnlineScorer, error) {
+		if err != nil {
+			return inc, err
+		}
+		return &failingScorer{inner: inc, failAll: true}, nil
+	}
+	srv.ingest(Observation{Source: "good1", Subject: "seedfail", Predicate: "p", Object: "v"})
+	sn, skipped, err := srv.rebuild(false)
+	if err != nil {
+		t.Fatalf("seed failure aborted the rebuild: %v", err)
+	}
+	if skipped || sn.seq != 2 {
+		t.Fatalf("snapshot not swapped: skipped=%v seq=%d", skipped, sn.seq)
+	}
+	if liveInc(srv) != nil {
+		t.Fatal("failed scorer left installed")
+	}
+	if !lc.contains("seeding failed") {
+		t.Errorf("seed failure not logged; lines: %v", lc.lines)
+	}
+	if text := metricsText(t, srv); !strings.Contains(text, "corrfused_online_disabled 1") {
+		t.Error("online_disabled gauge not raised after seed failure")
+	}
+	// The new snapshot's results reached the store: the ingested claim is
+	// scored by the batch model.
+	if e, ok := srv.store.Get(tr("seedfail", "v")); !ok || e.Probability == 0 {
+		t.Errorf("store not updated by the degraded rebuild: %+v", e)
+	}
+
+	// The next healthy rebuild restores live scoring and lowers the gauge.
+	srv.testOnlineHook = nil
+	if _, _, err := srv.rebuild(true); err != nil {
+		t.Fatal(err)
+	}
+	if liveInc(srv) == nil {
+		t.Fatal("healthy rebuild did not restore the online scorer")
+	}
+	if text := metricsText(t, srv); !strings.Contains(text, "corrfused_online_disabled 0") {
+		t.Error("online_disabled gauge not lowered after recovery")
+	}
+}
+
+// TestReplayFailureCompletesSwap: a claim ingested during the model build is
+// replayed onto the new scorer at swap time; if that replay fails, the swap
+// must still complete (store-backed endpoints already serve the new model)
+// with the journal suffix preserved for the next rebuild.
+func TestReplayFailureCompletesSwap(t *testing.T) {
+	var lc logCollector
+	cfg := corrConfig()
+	cfg.Logf = lc.logf
+	srv := newServer(t, seedStore(t), cfg)
+
+	poison := tr("mid-build", "v")
+	srv.testOnlineHook = func(inc corrfuse.OnlineScorer, err error) (corrfuse.OnlineScorer, error) {
+		if err != nil {
+			return inc, err
+		}
+		// The hook runs after the store capture, exactly where concurrent
+		// ingests land in the journal suffix that swap-time replay covers.
+		srv.ingest(Observation{Source: "good1", Subject: poison.Subject, Predicate: poison.Predicate, Object: poison.Object})
+		return &failingScorer{inner: inc, failOn: poison}, nil
+	}
+	srv.ingest(Observation{Source: "good2", Subject: "pre-build", Predicate: "p", Object: "v"})
+	sn, skipped, err := srv.rebuild(false)
+	if err != nil {
+		t.Fatalf("replay failure aborted the rebuild: %v", err)
+	}
+	if skipped || sn.seq != 2 {
+		t.Fatalf("snapshot not swapped: skipped=%v seq=%d", skipped, sn.seq)
+	}
+	if liveInc(srv) != nil {
+		t.Fatal("scorer that failed replay left installed")
+	}
+	if !lc.contains("journal replay failed") {
+		t.Errorf("replay failure not logged; lines: %v", lc.lines)
+	}
+	// Journal truncation stays correct: only the suffix (the mid-build
+	// claim) survives; the pre-build claim was captured and dropped.
+	srv.live.RLock()
+	var suffix []observation
+	suffix = append(suffix, srv.live.journal...)
+	srv.live.RUnlock()
+	if len(suffix) != 1 || suffix[0].t != poison {
+		t.Fatalf("journal suffix = %v, want the one mid-build claim", suffix)
+	}
+	// The mid-build claim's provenance is in the store (ingest writes the
+	// store first), so the next rebuild folds it in and recovers.
+	srv.testOnlineHook = nil
+	if _, _, err := srv.rebuild(true); err != nil {
+		t.Fatal(err)
+	}
+	if liveInc(srv) == nil {
+		t.Fatal("recovery rebuild did not restore the online scorer")
+	}
+	if p, _, ok := srv.liveProbability(srv.snap.Load(), poison); !ok || p <= 0 {
+		t.Errorf("mid-build claim lost: p=%v ok=%v", p, ok)
+	}
+}
+
+// TestPartialRebuildEndToEnd: with PartialRebuild enabled, a background
+// refresh after claims confined to one shard retrains exactly that shard,
+// reports the counts in /metrics and /v1/refuse, and serves the same
+// probabilities as a full-rebuild twin.
+func TestPartialRebuildEndToEnd(t *testing.T) {
+	const shards = 3
+	mkServer := func(partial bool) *Server {
+		cfg := corrConfig()
+		cfg.Options.Shards = shards
+		cfg.Options.RebuildWorkers = 2
+		cfg.PartialRebuild = partial
+		return newServer(t, seedStoreWide(t, 48), cfg)
+	}
+	partial := mkServer(true)
+	full := mkServer(false)
+
+	// Claims on one new subject dirty exactly one shard.
+	obs := Observation{Source: "good1", Subject: "fresh-subject", Predicate: "p", Object: "v"}
+	home := shard.Of(obs.Subject, shards)
+	partial.ingest(obs)
+	full.ingest(obs)
+
+	sn, skipped, err := partial.rebuild(false)
+	if err != nil || skipped {
+		t.Fatalf("partial rebuild: err=%v skipped=%v", err, skipped)
+	}
+	rebuilt, reused := sn.rebuildCounts()
+	if rebuilt != 1 || reused != shards-1 {
+		t.Fatalf("rebuilt %d / reused %d shards, want 1 / %d", rebuilt, reused, shards-1)
+	}
+	for _, st := range sn.shardStats {
+		if (st.Shard == home) == st.Reused {
+			t.Errorf("shard %d reused=%v, dirty shard is %d", st.Shard, st.Reused, home)
+		}
+	}
+	if _, _, err := full.rebuild(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// The partial snapshot's probabilities match the full rebuild's, on
+	// clean-shard and dirty-shard triples alike.
+	for _, sub := range []string{"wt0", "wt1", "wt7", "wu3", "fresh-subject"} {
+		tt := tr(sub, "v")
+		pp, _, okP := partial.liveProbability(partial.snap.Load(), tt)
+		fp, _, okF := full.liveProbability(full.snap.Load(), tt)
+		if !okP || !okF {
+			t.Fatalf("%s: unknown to a snapshot (partial %v, full %v)", sub, okP, okF)
+		}
+		if math.Abs(pp-fp) > 1e-9 {
+			t.Errorf("%s: partial %.12f != full %.12f", sub, pp, fp)
+		}
+	}
+
+	if text := metricsText(t, partial); !strings.Contains(text, "corrfused_partial_rebuilds_total 1") ||
+		!strings.Contains(text, "corrfused_shards_rebuilt 1") ||
+		!strings.Contains(text, fmt.Sprintf("corrfused_shards_reused %d", shards-1)) ||
+		!strings.Contains(text, fmt.Sprintf("corrfused_shard_reused{shard=\"%d\"} 0", home)) {
+		t.Errorf("partial-rebuild metrics missing:\n%s", text)
+	}
+
+	// /v1/refuse reports the counts of the rebuild it performed. The
+	// store is unchanged now, but refuse forces a rebuild: zero dirty
+	// shards, everything reused.
+	ts := httptest.NewServer(partial.Handler())
+	defer ts.Close()
+	out := postJSON(t, ts.URL+"/v1/refuse", map[string]any{})
+	if got, ok := out["reusedShards"].(float64); !ok || int(got) != shards {
+		t.Errorf("refuse reusedShards = %v, want %d", out["reusedShards"], shards)
+	}
+	if got, ok := out["rebuiltShards"].(float64); !ok || int(got) != 0 {
+		t.Errorf("refuse rebuiltShards = %v, want 0", out["rebuiltShards"])
+	}
+}
+
+// TestPartialRebuildNewSourceFallsBackToFull: a claim from an unknown source
+// changes the source table, which partial adoption must refuse — the refresh
+// degrades to retraining every shard, and the new source joins the model.
+func TestPartialRebuildNewSourceFallsBackToFull(t *testing.T) {
+	const shards = 3
+	cfg := corrConfig()
+	cfg.Options.Shards = shards
+	cfg.Options.RebuildWorkers = 2
+	cfg.PartialRebuild = true
+	srv := newServer(t, seedStoreWide(t, 48), cfg)
+
+	srv.ingest(Observation{Source: "newcomer", Subject: "wt0", Predicate: "p", Object: "v"})
+	sn, skipped, err := srv.rebuild(false)
+	if err != nil || skipped {
+		t.Fatalf("rebuild: err=%v skipped=%v", err, skipped)
+	}
+	rebuilt, reused := sn.rebuildCounts()
+	if reused != 0 || rebuilt != shards {
+		t.Fatalf("rebuilt %d / reused %d after a source-table change, want %d / 0", rebuilt, reused, shards)
+	}
+	if _, ok := sn.data.SourceID("newcomer"); !ok {
+		t.Fatal("new source missing from the rebuilt model")
+	}
+}

@@ -51,6 +51,17 @@ type Config struct {
 	// false, Options.Scope (default global) is used as-is.
 	SubjectScope bool
 
+	// PartialRebuild, with Options.Shards > 1, makes background refreshes
+	// and /v1/refuse retrain only the shards whose subjects changed since
+	// the current snapshot's capture (tracked by per-shard store version
+	// counters), adopting every clean shard's model verbatim — model
+	// retraining, the dominant superlinear cost of a refresh, then scales
+	// with the change rate rather than the store size (scoring, fusion
+	// write-back and online reseeding remain linear, parallelized passes
+	// over the store). See corrfuse.ShardedFuser.RebuildPartial for the
+	// exactness contract. Ignored for the monolithic engine.
+	PartialRebuild bool
+
 	// PenalizeSilence selects global-scope semantics for the incremental
 	// scorer: every source that does not provide a triple counts against
 	// it. Match it to the batch scope (true for global scope).
@@ -88,6 +99,10 @@ type snapshot struct {
 	data *corrfuse.Dataset
 	// version is the store data version the snapshot was captured at.
 	version uint64
+	// shardVersions is the per-shard store version capture the snapshot
+	// was built from (nil unless partial rebuilds are enabled); the next
+	// rebuild diffs it against a fresh capture to find the dirty shards.
+	shardVersions []uint64
 	// seq numbers snapshots 1, 2, … ; /healthz and /metrics expose it.
 	seq      uint64
 	builtAt  time.Time
@@ -96,6 +111,19 @@ type snapshot struct {
 	// shardStats holds per-shard sizes and build timings when the model
 	// is sharded (nil for the monolithic engine); /metrics exposes them.
 	shardStats []corrfuse.ShardStat
+}
+
+// rebuildCounts reports how many shards the snapshot's build retrained vs
+// adopted from the previous model (0, 0 for the monolithic engine).
+func (sn *snapshot) rebuildCounts() (rebuilt, reused int) {
+	for _, st := range sn.shardStats {
+		if st.Reused {
+			reused++
+		} else {
+			rebuilt++
+		}
+	}
+	return rebuilt, reused
 }
 
 // Server is the online fusion service. Build one with New, mount Handler,
@@ -126,6 +154,11 @@ type Server struct {
 
 	m metrics
 
+	// testOnlineHook, when non-nil, intercepts the online scorer derived
+	// during a rebuild. Tests use it to inject scorers whose Observe fails
+	// mid-replay; production code never sets it.
+	testOnlineHook func(corrfuse.OnlineScorer, error) (corrfuse.OnlineScorer, error)
+
 	mux     *http.ServeMux
 	started time.Time
 
@@ -148,6 +181,12 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		done:    make(chan struct{}),
 	}
 	s.live.unknown = make(map[string]bool)
+	if cfg.PartialRebuild && cfg.Options.Shards > 1 {
+		// Per-shard version counters feed the dirty-shard diff of every
+		// subsequent rebuild; the initial build below records the first
+		// capture.
+		st.TrackShards(cfg.Options.Shards)
+	}
 	if _, _, err := s.rebuild(true); err != nil {
 		return nil, fmt.Errorf("serve: initial fusion: %w", err)
 	}

@@ -94,32 +94,132 @@ func New(d *triple.Dataset, n, workers int) *Partition {
 	}
 	// Build errors are impossible here (fn always returns nil).
 	ForEach(n, workers, func(si int) error {
-		ids := p.globalID[si]
-		sd := triple.NewDatasetCap(d.NumSources(), len(ids))
-		for _, s := range d.Sources() {
-			sd.AddSource(s.Name)
-		}
-		for _, id := range ids {
-			t := d.Triple(id)
-			var lid triple.TripleID
-			if provs := d.Providers(id); len(provs) > 0 {
-				for _, s := range provs {
-					lid = sd.Observe(s, t)
-				}
-				if l := d.Label(id); l != triple.Unknown {
-					sd.SetLabel(t, l)
-				}
-			} else {
-				// A label-only triple (gold truth missed by every
-				// source) still needs an ID in its shard.
-				lid = sd.SetLabel(t, d.Label(id))
-			}
-			p.localID[id] = lid
-		}
-		p.shards[si] = sd
+		p.buildShard(d, si)
 		return nil
 	})
 	return p
+}
+
+// buildShard interns shard si's triples (p.globalID[si], in global order)
+// into a fresh dataset, recording the local IDs. Interning in ascending
+// global order makes local IDs positional: the j-th routed triple gets local
+// ID j — the stable assignment RebuildPartial's dataset comparison relies
+// on.
+func (p *Partition) buildShard(d *triple.Dataset, si int) {
+	ids := p.globalID[si]
+	sd := triple.NewDatasetCap(d.NumSources(), len(ids))
+	for _, s := range d.Sources() {
+		sd.AddSource(s.Name)
+	}
+	for _, id := range ids {
+		t := d.Triple(id)
+		var lid triple.TripleID
+		if provs := d.Providers(id); len(provs) > 0 {
+			for _, s := range provs {
+				lid = sd.Observe(s, t)
+			}
+			if l := d.Label(id); l != triple.Unknown {
+				sd.SetLabel(t, l)
+			}
+		} else {
+			// A label-only triple (gold truth missed by every
+			// source) still needs an ID in its shard.
+			lid = sd.SetLabel(t, d.Label(id))
+		}
+		p.localID[id] = lid
+	}
+	p.shards[si] = sd
+}
+
+// RebuildPartial builds a partition of d with prev's shard count, adopting
+// prev's immutable shard dataset verbatim for every shard si with keep[si]
+// true whose slice of d is verifiably identical to prev's. It returns the
+// new partition, which shards were actually adopted, and whether the source
+// tables of d and prev's dataset agree (callers gate other SourceID-indexed
+// reuse, e.g. quality estimators, on the same verdict).
+//
+// The subject-hash routing is stable and the global dataset only appends,
+// so an unchanged shard's triples arrive in the same relative order as in
+// prev and local IDs are positional — adoption needs no re-interning, only
+// the cheap positional comparison of shardUnchanged (no hashing, no
+// allocation). keep is the caller's change-tracking claim (e.g. per-shard
+// store version counters); the comparison verifies it, so a wrong claim
+// degrades to a rebuild of that shard, never to a stale adoption. When the
+// source tables of d and prev's dataset differ, no shard is adopted: shard
+// datasets register the full global source table, and quality parameters
+// and silence-as-evidence scoring depend on it.
+func RebuildPartial(d *triple.Dataset, prev *Partition, keep []bool, workers int) (*Partition, []bool, bool) {
+	n := prev.NumShards()
+	p := &Partition{
+		global:   d,
+		shards:   make([]*triple.Dataset, n),
+		shardOf:  make([]int32, d.NumTriples()),
+		localID:  make([]triple.TripleID, d.NumTriples()),
+		globalID: make([][]triple.TripleID, n),
+	}
+	for i := 0; i < d.NumTriples(); i++ {
+		si := Of(d.Triple(triple.TripleID(i)).Subject, n)
+		p.shardOf[i] = int32(si)
+		p.globalID[si] = append(p.globalID[si], triple.TripleID(i))
+	}
+	sameSources := SourceTablesEqual(d, prev.global)
+	reused := make([]bool, n)
+	ForEach(n, workers, func(si int) error {
+		if si < len(keep) && keep[si] && sameSources && shardUnchanged(d, p.globalID[si], prev.shards[si]) {
+			p.shards[si] = prev.shards[si]
+			for j, id := range p.globalID[si] {
+				p.localID[id] = triple.TripleID(j)
+			}
+			reused[si] = true
+			return nil
+		}
+		p.buildShard(d, si)
+		return nil
+	})
+	return p, reused, sameSources
+}
+
+// SourceTablesEqual reports whether two datasets register the same sources
+// in the same order — the condition for SourceID-indexed state (quality
+// parameters, shard datasets' source registrations) to carry over between
+// captures.
+func SourceTablesEqual(a, b *triple.Dataset) bool {
+	if a.NumSources() != b.NumSources() {
+		return false
+	}
+	for _, s := range a.Sources() {
+		if b.SourceName(s.ID) != s.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// shardUnchanged reports whether the shard dataset sd (built from an earlier
+// capture) is exactly the shard-local view of d's triples ids: same triples
+// in the same positions with the same labels and providers. Local IDs are
+// positional (see buildShard), so the comparison is one linear pass over the
+// shard's triples and observations.
+func shardUnchanged(d *triple.Dataset, ids []triple.TripleID, sd *triple.Dataset) bool {
+	if len(ids) != sd.NumTriples() {
+		return false
+	}
+	for j, id := range ids {
+		lid := triple.TripleID(j)
+		if d.Triple(id) != sd.Triple(lid) || d.Label(id) != sd.Label(lid) {
+			return false
+		}
+		pg, pl := d.Providers(id), sd.Providers(lid)
+		if len(pg) != len(pl) {
+			return false
+		}
+		for k := range pg {
+			if pg[k] != pl[k] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // NumShards returns the number of shards.

@@ -137,3 +137,134 @@ func TestForEachFirstError(t *testing.T) {
 		t.Fatalf("serial err = %v, want boom", err)
 	}
 }
+
+// mutatedCopy clones d and adds fresh observations on existing subjects
+// routed to the given shards (under an n-way partition), returning the new
+// dataset and the set of shards actually touched.
+func mutatedCopy(t *testing.T, d *triple.Dataset, n int, touch map[int]bool) *triple.Dataset {
+	t.Helper()
+	d2 := d.Clone()
+	touched := map[int]bool{}
+	for i := 0; i < d.NumTriples(); i++ {
+		sub := d.Triple(triple.TripleID(i)).Subject
+		si := Of(sub, n)
+		if !touch[si] || touched[si] {
+			continue
+		}
+		touched[si] = true
+		d2.Observe(0, triple.Triple{Subject: sub, Predicate: "p-new", Object: "v"})
+	}
+	if len(touched) != len(touch) {
+		t.Fatalf("touched shards %v, wanted %v", touched, touch)
+	}
+	return d2
+}
+
+func TestRebuildPartialAdoptsUnchangedShards(t *testing.T) {
+	const n = 4
+	d := buildDataset(200, 7)
+	prev := New(d, n, 2)
+	dirty := map[int]bool{1: true, 3: true}
+	d2 := mutatedCopy(t, d, n, dirty)
+
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = !dirty[i]
+	}
+	p, reused, _ := RebuildPartial(d2, prev, keep, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("partial partition invalid: %v", err)
+	}
+	for si := 0; si < n; si++ {
+		if dirty[si] {
+			if reused[si] {
+				t.Errorf("dirty shard %d reported reused", si)
+			}
+			if p.Shard(si) == prev.Shard(si) {
+				t.Errorf("dirty shard %d adopted the stale dataset", si)
+			}
+		} else {
+			if !reused[si] {
+				t.Errorf("clean shard %d not reused", si)
+			}
+			if p.Shard(si) != prev.Shard(si) {
+				t.Errorf("clean shard %d rebuilt instead of adopted", si)
+			}
+		}
+	}
+	// The partial partition must equal a from-scratch one shard for shard.
+	full := New(d2, n, 2)
+	for i := 0; i < d2.NumTriples(); i++ {
+		id := triple.TripleID(i)
+		psi, plid := p.Locate(id)
+		fsi, flid := full.Locate(id)
+		if psi != fsi || plid != flid {
+			t.Fatalf("triple %d located at (%d,%d) partial vs (%d,%d) full", id, psi, plid, fsi, flid)
+		}
+	}
+}
+
+// TestRebuildPartialVerifiesKeepClaim: a wrong keep claim (the shard did
+// change) must degrade to a rebuild, never adopt stale data.
+func TestRebuildPartialVerifiesKeepClaim(t *testing.T) {
+	const n = 4
+	d := buildDataset(120, 5)
+	prev := New(d, n, 1)
+	d2 := mutatedCopy(t, d, n, map[int]bool{2: true})
+
+	keep := []bool{true, true, true, true} // lies about shard 2
+	p, reused, _ := RebuildPartial(d2, prev, keep, 1)
+	if reused[2] {
+		t.Fatal("changed shard adopted on a false keep claim")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Label changes must be caught too, not only new triples.
+	d3 := d.Clone()
+	var relabeled bool
+	for i := 0; i < d.NumTriples() && !relabeled; i++ {
+		id := triple.TripleID(i)
+		tr := d.Triple(id)
+		if Of(tr.Subject, n) == 0 && d.Label(id) == triple.Unknown {
+			d3.SetLabel(tr, triple.False)
+			relabeled = true
+		}
+	}
+	if !relabeled {
+		t.Fatal("no unlabeled triple in shard 0 to relabel")
+	}
+	_, reused, _ = RebuildPartial(d3, prev, keep, 1)
+	if reused[0] {
+		t.Fatal("relabeled shard adopted")
+	}
+	for si := 1; si < n; si++ {
+		if !reused[si] {
+			t.Errorf("untouched shard %d rebuilt", si)
+		}
+	}
+}
+
+// TestRebuildPartialNewSourceBlocksAdoption: shard datasets register the
+// full source table, so a new source invalidates every shard.
+func TestRebuildPartialNewSourceBlocksAdoption(t *testing.T) {
+	const n = 3
+	d := buildDataset(90, 4)
+	prev := New(d, n, 1)
+	d2 := d.Clone()
+	s := d2.AddSource("brand-new")
+	d2.Observe(s, triple.Triple{Subject: "e0", Predicate: "p2", Object: "v"})
+
+	p, reused, sameSources := RebuildPartial(d2, prev, []bool{true, true, true}, 1)
+	if sameSources {
+		t.Error("changed source table reported equal")
+	}
+	for si, r := range reused {
+		if r {
+			t.Errorf("shard %d adopted across a source-table change", si)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"corrfuse/internal/dataset"
+	"corrfuse/internal/shard"
 	"corrfuse/internal/triple"
 )
 
@@ -230,4 +231,76 @@ func TestVersion(t *testing.T) {
 	if s.Version() != v3 {
 		t.Fatal("probability merge advanced the data version")
 	}
+}
+
+func TestShardVersions(t *testing.T) {
+	const n = 4
+	s := New()
+	if s.ShardVersions() != nil {
+		t.Fatal("tracking reported before TrackShards")
+	}
+	s.TrackShards(n)
+	base := s.ShardVersions()
+	if len(base) != n {
+		t.Fatalf("ShardVersions = %d counters, want %d", len(base), n)
+	}
+
+	tr := mk("Obama", "profession", "president")
+	home := shard.Of(tr.Subject, n)
+	s.Put(Entry{Triple: tr, Sources: []string{"S1"}})
+	after := s.ShardVersions()
+	for i := 0; i < n; i++ {
+		if i == home && after[i] == base[i] {
+			t.Errorf("Put did not advance shard %d (the subject's shard)", i)
+		}
+		if i != home && after[i] != base[i] {
+			t.Errorf("Put advanced shard %d, subject routes to %d", i, home)
+		}
+	}
+
+	// No-op merge: same provenance again moves nothing.
+	s.Put(Entry{Triple: tr, Sources: []string{"S1"}})
+	if got := s.ShardVersions(); got[home] != after[home] {
+		t.Error("duplicate provenance advanced the shard version")
+	}
+	// New provenance and label changes advance the home shard only.
+	s.Put(Entry{Triple: tr, Sources: []string{"S2"}, Label: "true"})
+	bumped := s.ShardVersions()
+	if bumped[home] == after[home] {
+		t.Error("new provenance + label did not advance the home shard")
+	}
+	// Fusion writebacks are derived state: no shard moves, even when the
+	// triple is interned fresh.
+	s.SetFusion(tr, 0.9, true)
+	s.SetFusion(mk("new", "p", "v"), 0.4, false)
+	if got := s.ShardVersions(); !equalVersions(got, bumped) {
+		t.Errorf("SetFusion moved shard versions: %v -> %v", bumped, got)
+	}
+	// The per-shard counters decompose the global version: their sum
+	// advances exactly when Version does.
+	var sum uint64
+	for _, v := range s.ShardVersions() {
+		sum += v
+	}
+	if sum != s.Version() {
+		t.Errorf("shard versions sum to %d, global version is %d", sum, s.Version())
+	}
+
+	// Resizing resets: captures across a TrackShards call compare changed.
+	s.TrackShards(8)
+	if got := s.ShardVersions(); len(got) != 8 {
+		t.Fatalf("resize kept %d counters", len(got))
+	}
+}
+
+func equalVersions(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

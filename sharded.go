@@ -81,8 +81,13 @@ type ShardStat struct {
 	// Labeled is the number of labeled triples in the shard's training
 	// slice.
 	Labeled int
-	// Build is the wall time of the shard's model build.
+	// Build is the wall time of the shard's model build. For a shard
+	// adopted by RebuildPartial it is the build time of the adopted model,
+	// not of the adoption (which is near-free).
 	Build time.Duration
+	// Reused reports that RebuildPartial adopted the previous model's
+	// Fuser for this shard instead of retraining it.
+	Reused bool
 }
 
 // ShardedFuser is a subject-hash-sharded fusion engine: the dataset is
@@ -112,6 +117,11 @@ type ShardedFuser struct {
 	part   *shard.Partition
 	fusers []*Fuser
 	stats  []ShardStat
+
+	// fallback is the globally trained quality estimator handed to the
+	// per-shard builds (nil when no shard needed it). RebuildPartial
+	// reuses it verbatim when no rebuilt shard's labeled slice changed.
+	fallback quality.Params
 }
 
 // NewSharded builds a sharded fusion engine over d with opts.Shards shards,
@@ -173,14 +183,30 @@ func NewSharded(d *Dataset, opts Options) (*ShardedFuser, error) {
 			return nil, err
 		}
 		sub.qualityFallback = est
+		sf.fallback = est
 	}
 
+	toBuild := make([]int, opts.Shards)
+	for i := range toBuild {
+		toBuild[i] = i
+	}
+	if err := sf.buildShardFusers(toBuild, sub, trainPerShard); err != nil {
+		return nil, err
+	}
+	return sf, nil
+}
+
+// buildShardFusers trains the shard models for the given shard indexes
+// concurrently (Options.RebuildWorkers goroutines), filling sf.fusers and
+// sf.stats. trainPerShard, when non-nil, restricts each shard's training
+// slice (shard-local IDs); nil keeps the default (all labeled triples).
+func (sf *ShardedFuser) buildShardFusers(toBuild []int, sub Options, trainPerShard [][]TripleID) error {
 	subjectScoped := false
-	if _, ok := opts.Scope.(*triple.ScopeSubject); ok {
+	if _, ok := sf.opts.Scope.(*triple.ScopeSubject); ok {
 		subjectScoped = true
 	}
-
-	err := shard.ForEach(opts.Shards, opts.RebuildWorkers, func(i int) error {
+	return shard.ForEach(len(toBuild), sf.opts.RebuildWorkers, func(k int) error {
+		i := toBuild[k]
 		begin := time.Now()
 		so := sub
 		if trainPerShard != nil {
@@ -211,10 +237,6 @@ func NewSharded(d *Dataset, opts Options) (*ShardedFuser, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return sf, nil
 }
 
 // anyShardNeedsFallback reports whether any shard's training slice misses a
@@ -410,6 +432,148 @@ func (sf *ShardedFuser) Rebuild(d *Dataset) (*ShardedFuser, error) {
 		opts.Scope = NewScopeSubject(d)
 	}
 	return NewSharded(d, opts)
+}
+
+// RebuildPartial trains a new ShardedFuser over d retraining only the dirty
+// shards; every other shard's immutable Fuser and stats are adopted from
+// this engine verbatim. dirty holds the indexes of shards whose subjects may
+// have changed since this engine's dataset was captured (e.g. from the
+// store's per-shard version counters); out-of-range indexes are an error,
+// duplicates are fine. Like Rebuild, Train is cleared and a subject scope is
+// re-indexed for d. An engine that was itself built under a Train
+// restriction delegates to Rebuild: its shard models bake that restriction
+// in, so none of them may be adopted into the unrestricted result.
+//
+// Adoption is verified, not assumed: a shard is only reused when its slice
+// of d is positionally identical to this engine's (same triples, labels and
+// providers — see shard.RebuildPartial), so an understated dirty set
+// degrades to retraining the changed shard, never to serving a stale model.
+// A changed source table disables adoption entirely (every shard scores
+// against the full source table).
+//
+// Exactness. A reused shard's Fuser was trained on a dataset identical to
+// the one a full rebuild would train on, so RebuildPartial equals a full
+// sharded rebuild exactly whenever the global quality fallback is unused or
+// unchanged. The fallback (the globally trained estimator backing sources a
+// shard has no labeled evidence about) is re-derived only when a retrained
+// shard's labeled slice changed — labels added, removed, flipped, or a
+// labeled triple's provenance changed — or when the source table changed
+// (the old estimator's tables are indexed by the old table); reused shards
+// then keep the quality
+// they were built with until their shard next changes (or a full Rebuild).
+// Under subject scope a new unlabeled triple can also shift the global
+// estimator by widening a source's coverage; that drift is bounded by the
+// same argument as cross-shard estimation (see the consistency contract
+// above) and is the price of not retraining clean shards.
+func (sf *ShardedFuser) RebuildPartial(d *Dataset, dirty []int) (*ShardedFuser, error) {
+	if d == nil {
+		return nil, fmt.Errorf("corrfuse: RebuildPartial with nil dataset")
+	}
+	if sf.opts.Train != nil {
+		// This engine's shard models (and fallback estimator) were
+		// trained under a Train restriction that any rebuild clears —
+		// adopting them would mix restricted and unrestricted training
+		// in one model. Fall back to the full rebuild the contract is
+		// stated against.
+		return sf.Rebuild(d)
+	}
+	n := len(sf.fusers)
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	for _, si := range dirty {
+		if si < 0 || si >= n {
+			return nil, fmt.Errorf("corrfuse: RebuildPartial: shard %d out of range [0,%d)", si, n)
+		}
+		keep[si] = false
+	}
+	opts := sf.opts
+	opts.Train = nil
+	if _, ok := opts.Scope.(*triple.ScopeSubject); ok {
+		opts.Scope = NewScopeSubject(d)
+	}
+
+	part, reused, sameSources := shard.RebuildPartial(d, sf.part, keep, opts.RebuildWorkers)
+	next := &ShardedFuser{
+		d:      d,
+		opts:   opts,
+		part:   part,
+		fusers: make([]*Fuser, n),
+		stats:  make([]ShardStat, n),
+	}
+	var toBuild []int
+	labelsChanged := false
+	for si := 0; si < n; si++ {
+		if reused[si] {
+			next.fusers[si] = sf.fusers[si]
+			next.stats[si] = sf.stats[si]
+			next.stats[si].Reused = true
+			continue
+		}
+		toBuild = append(toBuild, si)
+		if !labeledSliceUnchanged(sf.part.Shard(si), part.Shard(si)) {
+			labelsChanged = true
+		}
+	}
+
+	sub := opts
+	sub.Shards = 0
+	sub.Train = nil
+	sub.Parallelism = 1
+	if supervised(opts.Method) && anyShardNeedsFallback(part, nil) {
+		fb := sf.fallback
+		// A changed source table makes the previous estimator unusable
+		// regardless of labels: its per-source tables are sized and
+		// indexed by the old table.
+		if fb == nil || labelsChanged || !sameSources {
+			est, err := quality.NewEstimator(d, quality.Options{
+				Alpha:     effectiveAlpha(opts.Alpha),
+				Scope:     opts.Scope,
+				Smoothing: opts.Smoothing,
+			})
+			if err != nil {
+				return nil, err
+			}
+			fb = est
+		}
+		sub.qualityFallback = fb
+		next.fallback = fb
+	}
+	if err := next.buildShardFusers(toBuild, sub, nil); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// labeledSliceUnchanged reports whether two captures of one shard carry the
+// same labeled slice: the same labeled triples with the same labels and the
+// same providers. This is exactly the evidence the global quality fallback
+// estimator is counted from, so an unchanged slice in every retrained shard
+// means the previous fallback is still exact (clean shards are unchanged by
+// definition).
+func labeledSliceUnchanged(old, new *triple.Dataset) bool {
+	ol, nl := old.Labeled(), new.Labeled()
+	if len(ol) != len(nl) {
+		return false
+	}
+	for _, id := range nl {
+		t := new.Triple(id)
+		oid, ok := old.TripleID(t)
+		if !ok || old.Label(oid) != new.Label(id) {
+			return false
+		}
+		po, pn := old.Providers(oid), new.Providers(id)
+		if len(po) != len(pn) {
+			return false
+		}
+		for k := range po {
+			if po[k] != pn[k] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Online derives a subject-hash-routed online scorer: one Incremental per
