@@ -1,0 +1,247 @@
+// Read-path query benchmarks on the 52k-triple store-scale dataset
+// (shardBenchDataset): the indexed serving path against the pre-index
+// baseline, for single-triple requests, 64-triple bulk requests and subject
+// listings.
+//
+// The Indexed benchmarks drive the real HTTP serving stack (mux, JSON
+// decode, frozen-index reads, JSON encode) through ServeHTTP. The Baseline
+// benchmarks reconstruct the pre-index request cost at the same altitude —
+// JSON decode, model recompute through the fusion algorithm (an unfrozen
+// engine, exactly what every request paid before the read index), response
+// assembly, JSON encode — without the HTTP layer, which only biases the
+// comparison against the indexed path.
+//
+// Every benchmark reports a triples/s throughput metric; the acceptance
+// ratio is BenchmarkQueryBulk64Indexed vs BenchmarkQuerySingleBaseline.
+// CI uploads the results as BENCH_query.json.
+package corrfuse_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"corrfuse"
+	"corrfuse/internal/serve"
+	"corrfuse/internal/store"
+	"corrfuse/internal/triple"
+)
+
+// queryBenchState caches the trained server and query workload across the
+// BenchmarkQuery* family (training the 52k-triple model once).
+type queryBenchState struct {
+	handler  http.Handler
+	baseline corrfuse.Model // unfrozen: scores recompute through the algorithm
+	st       *store.Store
+	triples  []triple.Triple
+}
+
+// hubSubject is a deliberately wide subject (hubEntries triples) added on
+// top of the 52k entity triples, so the subject benchmarks measure listing
+// work rather than per-request fixed costs.
+const (
+	hubSubject = "hub-entity"
+	hubEntries = 512
+)
+
+var queryBenchCache *queryBenchState
+
+func queryBench(b *testing.B) *queryBenchState {
+	b.Helper()
+	if queryBenchCache != nil {
+		return queryBenchCache
+	}
+	d := shardBenchDataset(b)
+	opts := shardBenchOpts()
+	opts.Shards = 8
+	opts.RebuildWorkers = 8
+
+	st := store.FromDataset(d)
+	for i := 0; i < hubEntries; i++ {
+		st.Put(store.Entry{
+			Triple:  triple.Triple{Subject: hubSubject, Predicate: fmt.Sprintf("ph%d", i), Object: "v"},
+			Sources: []string{fmt.Sprintf("indep-%d", i%48)},
+		})
+	}
+	srv, err := serve.New(st, serve.Config{Options: opts, PenalizeSilence: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// The unfrozen engine never fuses, so its Score/Probability run the
+	// correlation-aware algorithm per call — the pre-index read path. It is
+	// trained over the same data the server captured.
+	d2 := st.Dataset()
+	baseline, err := corrfuse.NewModel(d2, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	qs := &queryBenchState{handler: srv.Handler(), baseline: baseline, st: st}
+	for _, id := range providedIDs(d2) {
+		qs.triples = append(qs.triples, d2.Triple(id))
+	}
+	queryBenchCache = qs
+	return qs
+}
+
+// postScore drives one /v1/score request through the serving stack.
+func postScore(b *testing.B, h http.Handler, body []byte) {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/v1/score", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("/v1/score: %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// scoreBodies pre-marshals rotating request bodies of n triples each.
+func scoreBodies(b *testing.B, qs *queryBenchState, n int) [][]byte {
+	b.Helper()
+	const rotation = 64
+	bodies := make([][]byte, rotation)
+	for i := range bodies {
+		var req serve.ScoreRequest
+		for j := 0; j < n; j++ {
+			req.Triples = append(req.Triples, qs.triples[(i*n+j)%len(qs.triples)])
+		}
+		raw, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = raw
+	}
+	return bodies
+}
+
+func reportTriplesPerSec(b *testing.B, perOp int) {
+	b.ReportMetric(float64(b.N*perOp)/b.Elapsed().Seconds(), "triples/s")
+}
+
+// BenchmarkQuerySingleIndexed: one triple per request through the full
+// serving stack, answered from the frozen index.
+func BenchmarkQuerySingleIndexed(b *testing.B) {
+	qs := queryBench(b)
+	bodies := scoreBodies(b, qs, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postScore(b, qs.handler, bodies[i%len(bodies)])
+	}
+	reportTriplesPerSec(b, 1)
+}
+
+// BenchmarkQuerySingleBaseline: the pre-index cost of the same request —
+// decode, recompute the probability through the correlation-aware
+// algorithm, assemble and encode the response.
+func BenchmarkQuerySingleBaseline(b *testing.B) {
+	qs := queryBench(b)
+	bodies := scoreBodies(b, qs, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baselineScore(b, qs, bodies[i%len(bodies)])
+	}
+	reportTriplesPerSec(b, 1)
+}
+
+// BenchmarkQueryBulk64Indexed is the acceptance benchmark: 64-triple bulk
+// requests through the full serving stack, answered from the frozen index.
+// Its triples/s must be ≥ 5× BenchmarkQuerySingleBaseline's.
+func BenchmarkQueryBulk64Indexed(b *testing.B) {
+	qs := queryBench(b)
+	bodies := scoreBodies(b, qs, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postScore(b, qs.handler, bodies[i%len(bodies)])
+	}
+	reportTriplesPerSec(b, 64)
+}
+
+// BenchmarkQueryBulk64Baseline: the same bulk batch recomputed through the
+// algorithm per request (the pre-index bulk path).
+func BenchmarkQueryBulk64Baseline(b *testing.B) {
+	qs := queryBench(b)
+	bodies := scoreBodies(b, qs, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baselineScore(b, qs, bodies[i%len(bodies)])
+	}
+	reportTriplesPerSec(b, 64)
+}
+
+// baselineScore replays the pre-index /v1/score work: decode the request,
+// resolve IDs, recompute probabilities through the unfrozen model, assemble
+// results, encode the response.
+func baselineScore(b *testing.B, qs *queryBenchState, body []byte) {
+	b.Helper()
+	var req serve.ScoreRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		b.Fatal(err)
+	}
+	d := qs.baseline.Dataset()
+	results := make([]serve.ScoreResult, len(req.Triples))
+	var idxs []int
+	var ids []corrfuse.TripleID
+	for i, t := range req.Triples {
+		results[i] = serve.ScoreResult{Triple: t, Basis: "unknown"}
+		if id, ok := d.TripleID(t); ok && len(d.Providers(id)) > 0 {
+			idxs = append(idxs, i)
+			ids = append(ids, id)
+		}
+	}
+	for j, p := range qs.baseline.Score(ids) {
+		results[idxs[j]].Probability = p
+		results[idxs[j]].Basis = "snapshot"
+	}
+	enc := json.NewEncoder(io.Discard)
+	if err := enc.Encode(map[string]any{"results": results, "snapshotSeq": 1}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQuerySubjectIndexed: wide-subject listings through the full
+// serving stack — pre-ranked slices straight out of the frozen index, no
+// store scan, no per-request sort.
+func BenchmarkQuerySubjectIndexed(b *testing.B) {
+	qs := queryBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/v1/subject/"+hubSubject, nil)
+		w := httptest.NewRecorder()
+		qs.handler.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("/v1/subject: %d", w.Code)
+		}
+	}
+	reportTriplesPerSec(b, hubEntries)
+}
+
+// BenchmarkQuerySubjectBaseline: the pre-index listing of the same wide
+// subject — scan the store's subject slice, assemble statuses, rank them
+// per request, encode.
+func BenchmarkQuerySubjectBaseline(b *testing.B) {
+	qs := queryBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries := qs.st.BySubject(hubSubject)
+		out := make([]serve.TripleStatus, len(entries))
+		for j, e := range entries {
+			out[j] = serve.TripleStatus{
+				Triple: e.Triple, Sources: e.Sources, Label: e.Label,
+				Probability: e.Probability, BatchProbability: e.Probability,
+				Accepted: e.Accepted,
+			}
+		}
+		sort.SliceStable(out, func(a, c int) bool { return out[a].Probability > out[c].Probability })
+		enc := json.NewEncoder(io.Discard)
+		if err := enc.Encode(map[string]any{"results": out, "snapshotSeq": 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTriplesPerSec(b, hubEntries)
+}

@@ -10,17 +10,26 @@
 //	      [-alpha 0.5] [-scope global|subject] [-smoothing 0]
 //	      [-refresh 30s] [-persist out.jsonl] [-parallelism 0]
 //	      [-shards 1] [-rebuild-workers 0] [-partial-rebuild]
+//	      [-max-score-triples 1024] [-max-body-bytes 1048576]
 //
 // Endpoints (all JSON):
 //
 //	POST /v1/observe      ingest claims; instantly fresh probabilities
 //	GET  /v1/triple       query one triple (?subject=&predicate=&object=)
-//	GET  /v1/subject/{s}  entries about a subject
-//	GET  /v1/source/{s}   entries provided by a source
-//	POST /v1/score        score a batch of triples
+//	GET  /v1/subject/{s}  fused results about a subject, pre-ranked
+//	GET  /v1/source/{s}   fused results a source contributed to, pre-ranked
+//	POST /v1/score        bulk-score up to -max-score-triples triples
 //	POST /v1/refuse       force a batch re-fusion now
 //	GET  /healthz         liveness + snapshot sequence
 //	GET  /metrics         Prometheus metrics
+//
+// Reads are served from an immutable per-snapshot index frozen at every
+// re-fusion: point lookups and pre-ranked subject/source listings are O(1)
+// and lock-free, and every response reports the matching snapshot and index
+// versions (see the README's "Query path" section). /v1/score requests
+// beyond -max-score-triples triples, and /v1/score or /v1/observe bodies
+// beyond -max-body-bytes, are rejected with 413 and a structured error;
+// raise -max-body-bytes for large batch ingestion.
 //
 // With -shards N (N > 1) the store is partitioned by subject hash and every
 // batch re-fusion trains the N shard models concurrently on
@@ -62,10 +71,12 @@ type options struct {
 	smoothing float64
 	refresh   time.Duration
 
-	parallelism    int
-	shards         int
-	rebuildWorkers int
-	partialRebuild bool
+	parallelism     int
+	shards          int
+	rebuildWorkers  int
+	partialRebuild  bool
+	maxScoreTriples int
+	maxBodyBytes    int64
 }
 
 func main() {
@@ -82,6 +93,8 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 1, "subject-hash shards for the batch model (1 = monolithic)")
 	flag.IntVar(&o.rebuildWorkers, "rebuild-workers", 0, "goroutines rebuilding shard models concurrently (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.partialRebuild, "partial-rebuild", true, "retrain only dirty shards on re-fusions (effective with -shards > 1)")
+	flag.IntVar(&o.maxScoreTriples, "max-score-triples", serve.DefaultMaxScoreTriples, "max triples per /v1/score request (larger batches get 413)")
+	flag.Int64Var(&o.maxBodyBytes, "max-body-bytes", serve.DefaultMaxBodyBytes, "max request body bytes for /v1/score and /v1/observe (larger bodies get 413)")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -112,6 +125,8 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 
 	cfg := serve.Config{
 		RefreshInterval: o.refresh,
+		MaxScoreTriples: o.maxScoreTriples,
+		MaxBodyBytes:    o.maxBodyBytes,
 		Logf:            log.Printf,
 	}
 	switch o.persist {

@@ -117,7 +117,17 @@ func drive(base string) error {
 	}
 	fmt.Println(out)
 
-	// 5. Everything the service knows about a source, and its health.
+	// 5. Subject listing: served from the immutable per-snapshot index —
+	// pre-ranked by probability at re-fusion time, with matching snapshot
+	// and index versions proving the response came from one generation.
+	fmt.Println("\n== fused results about Elbonia (pre-ranked, snapshot-consistent) ==")
+	out, err = call("GET", base+"/v1/subject/Elbonia", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+
+	// 6. Everything the service knows about a source, and its health.
 	fmt.Println("\n== entries provided by indie ==")
 	out, err = call("GET", base+"/v1/source/indie", nil)
 	if err != nil {

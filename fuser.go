@@ -2,7 +2,6 @@ package corrfuse
 
 import (
 	"fmt"
-	"sort"
 
 	"corrfuse/internal/baseline"
 	"corrfuse/internal/cluster"
@@ -20,7 +19,8 @@ type scorer interface {
 
 // Fuser scores triples with correctness probabilities using the configured
 // method. Build one with New; it is immutable and safe for concurrent use
-// after construction.
+// after construction. Freeze (called implicitly by Fuse) computes every
+// probability once and turns the whole read surface into O(1) index reads.
 type Fuser struct {
 	d    *Dataset
 	opts Options
@@ -28,6 +28,9 @@ type Fuser struct {
 
 	clusters [][]SourceID
 	est      *quality.Estimator
+
+	// fr is the frozen score index; see Freeze in snapshot.go.
+	fr frozen
 }
 
 // New builds a Fuser over d. Supervised methods (PrecRec and the PrecRecCorr
@@ -153,21 +156,37 @@ func (f *Fuser) MethodName() string { return f.alg.Name() }
 func (f *Fuser) Clusters() [][]SourceID { return f.clusters }
 
 // Probability returns Pr(t true | observations) for a triple already present
-// in the dataset. ok is false when the triple is unknown.
+// in the dataset. ok is false when the triple is unknown. After Freeze the
+// value is an O(1) read from the frozen score index.
 func (f *Fuser) Probability(t Triple) (p float64, ok bool) {
 	id, ok := f.d.TripleID(t)
 	if !ok {
 		return 0, false
 	}
-	return f.alg.Probability(id), true
+	return f.ProbabilityByID(id), true
 }
 
-// ProbabilityByID returns Pr(t true | observations) for a triple ID.
-func (f *Fuser) ProbabilityByID(id TripleID) float64 { return f.alg.Probability(id) }
+// ProbabilityByID returns Pr(t true | observations) for a triple ID. After
+// Freeze the value is an O(1) read from the frozen score index.
+func (f *Fuser) ProbabilityByID(id TripleID) float64 {
+	if p, _, ok := f.fr.lookup(id); ok {
+		return p
+	}
+	return f.alg.Probability(id)
+}
 
-// Score computes probabilities for the given triple IDs, using
-// Options.Parallelism workers for the core algorithms.
+// Score computes probabilities for the given triple IDs. After Freeze every
+// provided ID is an O(1) index read; before, the core algorithms score with
+// Options.Parallelism workers.
 func (f *Fuser) Score(ids []TripleID) []float64 {
+	if f.fr.ready.Load() {
+		return f.fr.score(ids, f.scoreModel)
+	}
+	return f.scoreModel(ids)
+}
+
+// scoreModel runs the fusion algorithm over the IDs (the pre-freeze path).
+func (f *Fuser) scoreModel(ids []TripleID) []float64 {
 	if alg, ok := f.alg.(core.Algorithm); ok && f.opts.Parallelism != 1 {
 		return core.ParallelScore(alg, ids, f.opts.Parallelism)
 	}
@@ -185,6 +204,9 @@ func (f *Fuser) Decide(t Triple) (accepted, known bool) {
 }
 
 func (f *Fuser) decideID(id TripleID) bool {
+	if _, accepted, ok := f.fr.lookup(id); ok {
+		return accepted
+	}
 	if u, ok := f.alg.(*baseline.UnionK); ok {
 		return u.Decide(id)
 	}
@@ -202,30 +224,10 @@ func (f *Fuser) decideScored(id TripleID, p float64) bool {
 
 // Fuse scores every provided triple and returns the accepted set R — the
 // paper's high-quality output {t : t ∈ O ∧ t is true} — together with the
-// full ranking.
+// full ranking. The first call freezes the score index (see Freeze) and
+// ranks it; every subsequent call returns copies of the frozen ranking
+// without rescoring or re-sorting.
 func (f *Fuser) Fuse() (*Result, error) {
-	var ids []TripleID
-	for i := 0; i < f.d.NumTriples(); i++ {
-		id := TripleID(i)
-		if len(f.d.Providers(id)) > 0 {
-			ids = append(ids, id)
-		}
-	}
-	scores := f.Score(ids)
-	res := &Result{}
-	for i, id := range ids {
-		st := ScoredTriple{Triple: f.d.Triple(id), ID: id, Probability: scores[i]}
-		res.All = append(res.All, st)
-		if f.decideID(id) {
-			res.Accepted = append(res.Accepted, st)
-		}
-	}
-	byProb := func(list []ScoredTriple) {
-		sort.SliceStable(list, func(a, b int) bool {
-			return list[a].Probability > list[b].Probability
-		})
-	}
-	byProb(res.All)
-	byProb(res.Accepted)
-	return res, nil
+	f.Freeze()
+	return f.fr.rankedResult(f.d), nil
 }

@@ -2,11 +2,12 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
-	"corrfuse"
+	"corrfuse/internal/index"
 	"corrfuse/internal/store"
 	"corrfuse/internal/triple"
 )
@@ -45,7 +46,8 @@ type TripleStatus struct {
 	Accepted         bool          `json:"accepted"`
 }
 
-// ScoreRequest asks for probabilities of a batch of triples.
+// ScoreRequest asks for probabilities of a batch of triples (at most
+// Config.MaxScoreTriples per request).
 type ScoreRequest struct {
 	Triples []triple.Triple `json:"triples"`
 }
@@ -54,9 +56,13 @@ type ScoreRequest struct {
 type ScoreResult struct {
 	Triple      triple.Triple `json:"triple"`
 	Probability float64       `json:"probability"`
-	// Basis is "snapshot" (batch model), "live" (incremental model) or
-	// "unknown" (never observed; probability is 0).
+	// Basis is "snapshot" (frozen batch index), "live" (incremental
+	// model) or "unknown" (never observed; probability is 0).
 	Basis string `json:"basis"`
+	// Accepted reports the snapshot's acceptance decision. It is present
+	// exactly when Basis is "snapshot" (a rejected triple serializes as
+	// false, not as an absent field) and omitted otherwise.
+	Accepted *bool `json:"accepted,omitempty"`
 }
 
 func (s *Server) routes() {
@@ -85,15 +91,44 @@ func (s *Server) httpError(w http.ResponseWriter, code int, format string, args 
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// payloadTooLarge rejects an oversized request with 413 and a structured
+// error naming the limit that was exceeded (limitField is "maxTriples" or
+// "maxBytes").
+func (s *Server) payloadTooLarge(w http.ResponseWriter, limitField string, limit int64, format string, args ...any) {
+	s.m.badRequests.Add(1)
+	writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+		"error":    fmt.Sprintf(format, args...),
+		limitField: limit,
+	})
+}
+
+// decodeCapped JSON-decodes a request body into v under the server's byte
+// cap, answering 413 (structured, naming the limit) or 400 itself when the
+// body is oversized or malformed. It reports whether decoding succeeded.
+func (s *Server) decodeCapped(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.payloadTooLarge(w, "maxBytes", tooLarge.Limit,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		s.httpError(w, http.StatusBadRequest, "malformed body: %v", err)
+		return false
+	}
+	return true
+}
+
 // handleObserve ingests one claim or a batch of claims. The body is either
-// a single Observation object or {"observations": [...]}.
+// a single Observation object or {"observations": [...]}, capped at the
+// same byte limit as /v1/score.
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var batch struct {
 		Observation
 		Observations []Observation `json:"observations"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
-		s.httpError(w, http.StatusBadRequest, "malformed body: %v", err)
+	if !s.decodeCapped(w, r, &batch) {
 		return
 	}
 	obs := batch.Observations
@@ -160,46 +195,63 @@ func (s *Server) handleTriple(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) writeEntryList(w http.ResponseWriter, entries []store.Entry) {
-	sn := s.snap.Load()
-	out := make([]TripleStatus, len(entries))
-	for i, e := range entries {
-		out[i] = s.status(sn, e)
+// writeIndexed answers a listing request with pre-ranked index entries from
+// one snapshot. Every response carries both the snapshot's store version and
+// the index's own version: they are always equal (the index is built from
+// exactly the snapshot's capture), so a client — or the soak test — can
+// verify no response ever mixed two generations.
+func (s *Server) writeIndexed(w http.ResponseWriter, sn *snapshot, entries []*index.Entry) {
+	if entries == nil {
+		entries = []*index.Entry{}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"results":     out,
-		"snapshotSeq": sn.seq,
+		"results":         entries,
+		"snapshotSeq":     sn.seq,
+		"snapshotVersion": sn.version,
+		"indexVersion":    sn.idx.Version(),
 	})
 }
 
+// handleSubject serves the snapshot's fused results about a subject,
+// pre-ranked by descending probability at index build time — no store scan,
+// no per-request sort, no lock. The view is snapshot-consistent: claims
+// ingested after the snapshot's capture appear at the next rebuild (query
+// /v1/triple or /v1/score for live-overlay freshness).
 func (s *Server) handleSubject(w http.ResponseWriter, r *http.Request) {
-	s.writeEntryList(w, s.store.BySubject(r.PathValue("subject")))
+	sn := s.snap.Load()
+	s.writeIndexed(w, sn, sn.idx.Subject(r.PathValue("subject")))
 }
 
+// handleSource serves the snapshot's fused results a source contributed to,
+// pre-ranked like handleSubject and equally snapshot-consistent.
 func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
-	s.writeEntryList(w, s.store.BySource(r.PathValue("source")))
+	sn := s.snap.Load()
+	s.writeIndexed(w, sn, sn.idx.Source(r.PathValue("source")))
 }
 
-// handleScore scores a batch of triples in one request. Triples fully
-// reflected in the snapshot are scored by the batch model with parallel
-// scoring; triples with newer provenance by the incremental model.
+// handleScore scores a batch of up to Config.MaxScoreTriples triples in one
+// request. Triples fully reflected in the snapshot are answered from the
+// frozen index in O(1) each; triples with newer provenance by the
+// incremental model. Oversized requests (body bytes or triple count) are
+// rejected with 413 before any scoring work.
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	var req ScoreRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, "malformed body: %v", err)
+	if !s.decodeCapped(w, r, &req) {
 		return
 	}
 	if len(req.Triples) == 0 {
 		s.httpError(w, http.StatusBadRequest, "triples is required")
 		return
 	}
+	if len(req.Triples) > s.maxScoreTriples {
+		s.payloadTooLarge(w, "maxTriples", int64(s.maxScoreTriples),
+			"request has %d triples, limit is %d", len(req.Triples), s.maxScoreTriples)
+		return
+	}
 	sn := s.snap.Load()
 	results := make([]ScoreResult, len(req.Triples))
-	// Partition under one read lock: triples with provenance newer than
-	// the snapshot are answered by the live model; snapshot-resident ones
-	// are collected for a single parallel batch Score call.
-	var snapIdx []int
-	var snapIDs []corrfuse.TripleID
+	// One read lock for the live-overlay checks; snapshot-resident triples
+	// never touch the model — each is a constant-time index read.
 	s.live.RLock()
 	for i, t := range req.Triples {
 		results[i] = ScoreResult{Triple: t, Basis: "unknown"}
@@ -215,22 +267,21 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		if inSnap && snapProviders > 0 {
-			snapIdx = append(snapIdx, i)
-			snapIDs = append(snapIDs, id)
+		if inSnap {
+			if p, accepted, ok := sn.idx.Lookup(id); ok {
+				results[i].Probability = p
+				results[i].Accepted = &accepted
+				results[i].Basis = "snapshot"
+			}
 		}
 	}
 	s.live.RUnlock()
-	if len(snapIDs) > 0 {
-		for j, p := range sn.fuser.Score(snapIDs) {
-			results[snapIdx[j]].Probability = p
-			results[snapIdx[j]].Basis = "snapshot"
-		}
-	}
 	s.m.scored.Add(uint64(len(req.Triples)))
 	writeJSON(w, http.StatusOK, map[string]any{
-		"results":     results,
-		"snapshotSeq": sn.seq,
+		"results":         results,
+		"snapshotSeq":     sn.seq,
+		"snapshotVersion": sn.version,
+		"indexVersion":    sn.idx.Version(),
 	})
 }
 
@@ -250,13 +301,17 @@ func (s *Server) handleRefuse(w http.ResponseWriter, r *http.Request) {
 		shards = len(sn.shardStats)
 	}
 	out := map[string]any{
-		"snapshotSeq": sn.seq,
-		"skipped":     skipped,
-		"triples":     sn.triples,
-		"accepted":    sn.accepted,
-		"method":      sn.fuser.MethodName(),
-		"shards":      shards,
-		"durationMs":  time.Since(begin).Milliseconds(),
+		"snapshotSeq":     sn.seq,
+		"snapshotVersion": sn.version,
+		"indexVersion":    sn.idx.Version(),
+		"indexedTriples":  sn.idx.Len(),
+		"indexedSubjects": sn.idx.Subjects(),
+		"skipped":         skipped,
+		"triples":         sn.triples,
+		"accepted":        sn.accepted,
+		"method":          sn.fuser.MethodName(),
+		"shards":          shards,
+		"durationMs":      time.Since(begin).Milliseconds(),
 	}
 	if len(sn.shardStats) > 0 {
 		rebuilt, reused := sn.rebuildCounts()
@@ -269,9 +324,11 @@ func (s *Server) handleRefuse(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sn := s.snap.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"snapshotSeq":   sn.seq,
-		"uptimeSeconds": time.Since(s.started).Seconds(),
+		"status":          "ok",
+		"snapshotSeq":     sn.seq,
+		"snapshotVersion": sn.version,
+		"indexVersion":    sn.idx.Version(),
+		"uptimeSeconds":   time.Since(s.started).Seconds(),
 	})
 }
 

@@ -84,6 +84,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE corrfused_snapshot_accepted gauge\n")
 	p("corrfused_snapshot_accepted %d\n", sn.accepted)
 
+	p("# HELP corrfused_index_version Store data version the live read index was built at (always equals corrfused_snapshot_version).\n")
+	p("# TYPE corrfused_index_version gauge\n")
+	p("corrfused_index_version %d\n", sn.idx.Version())
+	p("# HELP corrfused_snapshot_version Store data version the live snapshot was captured at.\n")
+	p("# TYPE corrfused_snapshot_version gauge\n")
+	p("corrfused_snapshot_version %d\n", sn.version)
+	p("# HELP corrfused_index_triples Fused results frozen in the live read index.\n")
+	p("# TYPE corrfused_index_triples gauge\n")
+	p("corrfused_index_triples %d\n", sn.idx.Len())
+	p("# HELP corrfused_index_subjects Distinct subjects with results in the live read index.\n")
+	p("# TYPE corrfused_index_subjects gauge\n")
+	p("corrfused_index_subjects %d\n", sn.idx.Subjects())
+	p("# HELP corrfused_index_sources Distinct sources contributing to the live read index.\n")
+	p("# TYPE corrfused_index_sources gauge\n")
+	p("corrfused_index_sources %d\n", sn.idx.Sources())
+	p("# HELP corrfused_index_build_seconds Wall time of the live read index build.\n")
+	p("# TYPE corrfused_index_build_seconds gauge\n")
+	p("corrfused_index_build_seconds %.6f\n", sn.idx.BuildTime().Seconds())
+
 	p("# HELP corrfused_store_triples Distinct triples in the store.\n")
 	p("# TYPE corrfused_store_triples gauge\n")
 	p("corrfused_store_triples %d\n", s.store.Len())

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"corrfuse"
+	"corrfuse/internal/index"
 	"corrfuse/internal/store"
 	"corrfuse/internal/triple"
 )
@@ -98,22 +99,32 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	res, err := fuser.Fuse()
-	if err != nil {
-		return nil, false, err
-	}
+	// Freeze the model: every probability and decision is computed once
+	// into the dense score tables that back all subsequent reads.
+	probs, provided, accepted := fuser.FrozenScores()
 
 	// Write the batch results back as the authoritative fusion state.
 	// SetFusion overwrites unconditionally, so demotions stick, and it
 	// does not advance the data version, so this very rebuild does not
 	// make the next one think the data changed.
-	acceptedSet := make(map[corrfuse.TripleID]bool, len(res.Accepted))
-	for _, st := range res.Accepted {
-		acceptedSet[st.ID] = true
+	nTriples, nAccepted := 0, 0
+	for i, ok := range provided {
+		if !ok {
+			continue
+		}
+		id := corrfuse.TripleID(i)
+		s.store.SetFusion(d.Triple(id), probs[i], accepted[i])
+		nTriples++
+		if accepted[i] {
+			nAccepted++
+		}
 	}
-	for _, st := range res.All {
-		s.store.SetFusion(st.Triple, st.Probability, acceptedSet[st.ID])
-	}
+	// Freeze the fused results into the snapshot's read index, sharing the
+	// model's score tables (no copies — the index only adds the pre-ranked
+	// listing structures). Built here, once per rebuild and before the
+	// swap, so readers always find a fully built index behind the snapshot
+	// pointer — version-stamped with the same capture the snapshot records.
+	idx := index.Build(d, probs, provided, accepted, version)
 
 	// Reseed the incremental scorer from the new quality model (routed
 	// per shard for a sharded model). The unsupervised baselines carry no
@@ -138,11 +149,12 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	next := &snapshot{
 		fuser:         fuser,
 		data:          d,
+		idx:           idx,
 		version:       version,
 		shardVersions: shardVers,
 		builtAt:       time.Now(),
-		triples:       len(res.All),
-		accepted:      len(res.Accepted),
+		triples:       nTriples,
+		accepted:      nAccepted,
 	}
 	if sh, ok := fuser.(*corrfuse.ShardedFuser); ok {
 		next.shardStats = sh.ShardStats()

@@ -32,8 +32,16 @@ import (
 	"time"
 
 	"corrfuse"
+	"corrfuse/internal/index"
 	"corrfuse/internal/store"
 	"corrfuse/internal/triple"
+)
+
+// Default /v1/score bulk request limits; see Config.MaxScoreTriples and
+// Config.MaxBodyBytes.
+const (
+	DefaultMaxScoreTriples = 1024
+	DefaultMaxBodyBytes    = 1 << 20
 )
 
 // Config configures a Server.
@@ -72,6 +80,16 @@ type Config struct {
 	// POST /v1/refuse.
 	RefreshInterval time.Duration
 
+	// MaxScoreTriples caps the number of triples accepted by one /v1/score
+	// request; larger batches are rejected with 413 and a structured
+	// error. 0 means DefaultMaxScoreTriples.
+	MaxScoreTriples int
+
+	// MaxBodyBytes caps the request body size in bytes for /v1/score and
+	// /v1/observe; larger bodies are rejected with 413 and a structured
+	// error. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+
 	// PersistPath, when non-empty, is the JSONL file the store is saved
 	// to after every rebuild and on Close.
 	PersistPath string
@@ -97,6 +115,12 @@ type snapshot struct {
 	// data is the dataset the fuser was trained on; it maps source names
 	// and triples to the IDs both models use. It is immutable.
 	data *corrfuse.Dataset
+	// idx is the immutable fused-result index built from this snapshot's
+	// batch results: triple-ID point reads and pre-ranked per-subject and
+	// per-source slices, all O(1) and lock-free. idx.Version() always
+	// equals version — responses expose both so readers can prove they
+	// never mixed generations.
+	idx *index.Index
 	// version is the store data version the snapshot was captured at.
 	version uint64
 	// shardVersions is the per-shard store version capture the snapshot
@@ -159,6 +183,10 @@ type Server struct {
 	// mid-replay; production code never sets it.
 	testOnlineHook func(corrfuse.OnlineScorer, error) (corrfuse.OnlineScorer, error)
 
+	// Effective /v1/score limits (Config values after defaulting).
+	maxScoreTriples int
+	maxBodyBytes    int64
+
 	mux     *http.ServeMux
 	started time.Time
 
@@ -174,11 +202,19 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: nil store")
 	}
 	s := &Server{
-		cfg:     cfg,
-		store:   st,
-		started: time.Now(),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:             cfg,
+		store:           st,
+		maxScoreTriples: cfg.MaxScoreTriples,
+		maxBodyBytes:    cfg.MaxBodyBytes,
+		started:         time.Now(),
+		stop:            make(chan struct{}),
+		done:            make(chan struct{}),
+	}
+	if s.maxScoreTriples <= 0 {
+		s.maxScoreTriples = DefaultMaxScoreTriples
+	}
+	if s.maxBodyBytes <= 0 {
+		s.maxBodyBytes = DefaultMaxBodyBytes
 	}
 	s.live.unknown = make(map[string]bool)
 	if cfg.PartialRebuild && cfg.Options.Shards > 1 {

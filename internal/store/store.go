@@ -197,7 +197,10 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
-// BySubject returns the entries about a subject, in insertion order.
+// BySubject returns the entries about a subject, in insertion order. The
+// serving layer's subject listings read the per-snapshot fused-result index
+// instead (internal/index); this remains the store-level query surface for
+// tools, tests and offline inspection.
 func (s *Store) BySubject(subject string) []Entry {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -211,7 +214,8 @@ func (s *Store) ByPredicate(pred string) []Entry {
 	return s.collect(s.byPredicate[pred])
 }
 
-// BySource returns the entries provided by a source.
+// BySource returns the entries provided by a source; like BySubject, a
+// store-level query surface (the serving layer lists via internal/index).
 func (s *Store) BySource(src string) []Entry {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -2,7 +2,6 @@ package corrfuse
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"corrfuse/internal/quality"
@@ -21,6 +20,10 @@ type Model interface {
 	Score(ids []TripleID) []float64
 	Decide(t Triple) (accepted, known bool)
 	Fuse() (*Result, error)
+	// FrozenScores freezes the model on first call and returns the dense
+	// per-TripleID score tables, shared (not copied) with the model's
+	// immutable index; callers must not mutate them.
+	FrozenScores() (probs []float64, provided, accepted []bool)
 	Dataset() *Dataset
 	Options() Options
 	// Online derives an incremental scorer from the trained quality
@@ -122,6 +125,9 @@ type ShardedFuser struct {
 	// per-shard builds (nil when no shard needed it). RebuildPartial
 	// reuses it verbatim when no rebuilt shard's labeled slice changed.
 	fallback quality.Params
+
+	// fr is the frozen score index in global TripleID space; see Freeze.
+	fr frozen
 }
 
 // NewSharded builds a sharded fusion engine over d with opts.Shards shards,
@@ -331,7 +337,11 @@ func (sf *ShardedFuser) Probability(t Triple) (p float64, ok bool) {
 }
 
 // ProbabilityByID returns Pr(t true | observations) for a global TripleID.
+// After Freeze the value is an O(1) read from the frozen score index.
 func (sf *ShardedFuser) ProbabilityByID(id TripleID) float64 {
+	if p, _, ok := sf.fr.lookup(id); ok {
+		return p
+	}
 	si, local := sf.part.Locate(id)
 	return sf.fusers[si].ProbabilityByID(local)
 }
@@ -341,10 +351,20 @@ func (sf *ShardedFuser) Decide(t Triple) (accepted, known bool) {
 	return sf.shardFor(t).Decide(t)
 }
 
-// Score computes probabilities for the given global TripleIDs, scoring the
-// shards concurrently with Options.Parallelism workers (0 = GOMAXPROCS,
+// Score computes probabilities for the given global TripleIDs. After Freeze
+// every provided ID is an O(1) index read; before, the shards score
+// concurrently with Options.Parallelism workers (0 = GOMAXPROCS,
 // 1 = serial).
 func (sf *ShardedFuser) Score(ids []TripleID) []float64 {
+	if sf.fr.ready.Load() {
+		return sf.fr.score(ids, sf.scoreModel)
+	}
+	return sf.scoreModel(ids)
+}
+
+// scoreModel routes the IDs to their shards and scores them there (the
+// pre-freeze path).
+func (sf *ShardedFuser) scoreModel(ids []TripleID) []float64 {
 	out := make([]float64, len(ids))
 	n := len(sf.fusers)
 	perShard := make([][]TripleID, n)
@@ -367,56 +387,59 @@ func (sf *ShardedFuser) Score(ids []TripleID) []float64 {
 	return out
 }
 
-// Fuse scores every provided triple shard by shard (concurrently, with
-// Options.Parallelism workers) and merges the shard results into one
-// globally ranked Result keyed by global TripleIDs. Unlike chaining the
-// per-shard Fuse results, the merge ranks once globally — per-shard
-// orderings would be thrown away anyway.
-func (sf *ShardedFuser) Fuse() (*Result, error) {
-	n := len(sf.fusers)
-	partial := make([][]ScoredTriple, n)
-	accepted := make([][]bool, n)
-	err := shard.ForEach(n, sf.opts.Parallelism, func(si int) error {
-		f := sf.fusers[si]
-		sd := f.Dataset()
-		var local []TripleID
-		for i := 0; i < sd.NumTriples(); i++ {
-			if len(sd.Providers(TripleID(i))) > 0 {
-				local = append(local, TripleID(i))
-			}
-		}
-		scores := f.Score(local)
-		out := make([]ScoredTriple, len(local))
-		acc := make([]bool, len(local))
-		for j, lid := range local {
-			gid := sf.part.GlobalID(si, lid)
-			out[j] = ScoredTriple{Triple: sf.d.Triple(gid), ID: gid, Probability: scores[j]}
-			acc[j] = f.decideScored(lid, scores[j])
-		}
-		partial[si] = out
-		accepted[si] = acc
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	merged := &Result{}
-	for si := range partial {
-		merged.All = append(merged.All, partial[si]...)
-		for j, ok := range accepted[si] {
-			if ok {
-				merged.Accepted = append(merged.Accepted, partial[si][j])
-			}
-		}
-	}
-	byProb := func(list []ScoredTriple) {
-		sort.SliceStable(list, func(a, b int) bool {
-			return list[a].Probability > list[b].Probability
+// Freeze freezes every shard's score index concurrently (with
+// Options.Parallelism workers) and assembles the merged, globally ranked
+// tables in global TripleID space. It is idempotent and safe for concurrent
+// use; Fuse calls it implicitly. A shard adopted by RebuildPartial keeps its
+// frozen index (its dataset is verified identical), so a partial rebuild
+// only rescores the retrained shards.
+func (sf *ShardedFuser) Freeze() {
+	sf.fr.once.Do(func() {
+		n := len(sf.fusers)
+		// Scoring cannot fail; ForEach's error path is unused here.
+		shard.ForEach(n, sf.opts.Parallelism, func(si int) error {
+			sf.fusers[si].Freeze()
+			return nil
 		})
-	}
-	byProb(merged.All)
-	byProb(merged.Accepted)
-	return merged, nil
+		nt := sf.d.NumTriples()
+		probs := make([]float64, nt)
+		provided := make([]bool, nt)
+		accepted := make([]bool, nt)
+		for si, f := range sf.fusers {
+			for lid, ok := range f.fr.provided {
+				if !ok {
+					continue
+				}
+				gid := sf.part.GlobalID(si, TripleID(lid))
+				probs[gid] = f.fr.probs[lid]
+				provided[gid] = true
+				accepted[gid] = f.fr.accepted[lid]
+			}
+		}
+		sf.fr.probs = probs
+		sf.fr.provided = provided
+		sf.fr.accepted = accepted
+		sf.fr.ready.Store(true)
+	})
+}
+
+// FrozenScores freezes the engine (if it is not already) and returns the
+// dense score tables in global TripleID space; see Fuser.FrozenScores for
+// the sharing contract.
+func (sf *ShardedFuser) FrozenScores() (probs []float64, provided, accepted []bool) {
+	sf.Freeze()
+	return sf.fr.probs, sf.fr.provided, sf.fr.accepted
+}
+
+// Fuse scores every provided triple shard by shard and merges the shard
+// results into one globally ranked Result keyed by global TripleIDs. Unlike
+// chaining the per-shard Fuse results, the merge ranks once globally —
+// per-shard orderings would be thrown away anyway. The first call freezes
+// the score index (see Freeze) and ranks it; every subsequent call returns
+// copies of the frozen ranking without rescoring or re-sorting.
+func (sf *ShardedFuser) Fuse() (*Result, error) {
+	sf.Freeze()
+	return sf.fr.rankedResult(sf.d), nil
 }
 
 // Rebuild trains a new ShardedFuser over d with this engine's options,

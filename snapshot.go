@@ -2,9 +2,160 @@ package corrfuse
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"corrfuse/internal/triple"
 )
+
+// frozen is a model's immutable score index: every provided triple's
+// probability and acceptance decision, computed once by Freeze, plus the
+// globally ranked result lists. After Freeze, the model's read surface
+// (Probability, Score, Fuse) serves from these tables in O(1) per triple
+// instead of re-running the fusion algorithm per call — the shape the
+// serving layer's per-snapshot read index is built from.
+//
+// ready is only set after every table is fully written (inside the Once),
+// so lock-free readers either see the complete index or take the compute
+// path; both return identical values because the tables hold the
+// algorithm's own outputs verbatim.
+type frozen struct {
+	once  sync.Once
+	ready atomic.Bool
+
+	// Dense by TripleID; provided marks the IDs the tables cover (triples
+	// with at least one provider). Unprovided IDs keep the compute path:
+	// their probabilities are rarely asked for and freezing them would
+	// change no served value, only pre-pay cost.
+	probs    []float64
+	provided []bool
+	accepted []bool
+
+	// all and acceptedRank are the ranked result lists Fuse returns
+	// (descending probability, stable within equal scores). They are built
+	// lazily by rankedResult on the first Fuse call — the serving layer
+	// reads only the tables above, so a model that is frozen but never
+	// fused pays no sort and pins no ScoredTriple lists.
+	rankOnce     sync.Once
+	all          []ScoredTriple
+	acceptedRank []ScoredTriple
+}
+
+// rankedResult builds the ranked result lists from the frozen tables once
+// (dataset order in, stable descending-probability sort) and returns a
+// fresh Result backed by copies, so callers may reorder or filter (e.g.
+// ResolveSingleValued) without corrupting the shared lists. d must be the
+// dataset the tables are dense over.
+func (fr *frozen) rankedResult(d *Dataset) *Result {
+	fr.rankOnce.Do(func() {
+		var all, acc []ScoredTriple
+		for i, ok := range fr.provided {
+			if !ok {
+				continue
+			}
+			id := TripleID(i)
+			st := ScoredTriple{Triple: d.Triple(id), ID: id, Probability: fr.probs[i]}
+			all = append(all, st)
+			if fr.accepted[i] {
+				acc = append(acc, st)
+			}
+		}
+		sortByProb(all)
+		sortByProb(acc)
+		fr.all = all
+		fr.acceptedRank = acc
+	})
+	return &Result{
+		All:      append([]ScoredTriple(nil), fr.all...),
+		Accepted: append([]ScoredTriple(nil), fr.acceptedRank...),
+	}
+}
+
+// lookup reads one ID from the frozen tables. ok is false while the tables
+// are not ready or for IDs outside the provided set — callers then fall
+// back to the compute path.
+func (fr *frozen) lookup(id TripleID) (p float64, accepted, ok bool) {
+	if !fr.ready.Load() || int(id) >= len(fr.provided) || !fr.provided[id] {
+		return 0, false, false
+	}
+	return fr.probs[id], fr.accepted[id], true
+}
+
+// score answers a Score call from the frozen tables, falling back to
+// slowPath for the (rare) IDs outside the provided set.
+func (fr *frozen) score(ids []TripleID, slowPath func([]TripleID) []float64) []float64 {
+	out := make([]float64, len(ids))
+	var slowIdx []int
+	var slow []TripleID
+	for i, id := range ids {
+		if p, _, ok := fr.lookup(id); ok {
+			out[i] = p
+			continue
+		}
+		slowIdx = append(slowIdx, i)
+		slow = append(slow, id)
+	}
+	if len(slow) > 0 {
+		for j, p := range slowPath(slow) {
+			out[slowIdx[j]] = p
+		}
+	}
+	return out
+}
+
+// sortByProb ranks scored triples by descending probability, stable within
+// equal scores (so dataset order breaks ties, deterministically).
+func sortByProb(list []ScoredTriple) {
+	sort.SliceStable(list, func(a, b int) bool {
+		return list[a].Probability > list[b].Probability
+	})
+}
+
+// Freeze scores every provided triple of the dataset once and caches the
+// results, turning Probability, Score and Fuse into O(1) table reads. It is
+// idempotent and safe for concurrent use; Fuse calls it implicitly, so a
+// model that has fused once serves all subsequent reads from the index.
+// Concurrent readers during the freeze take the compute path and observe
+// the same values (the tables hold the algorithm's outputs verbatim).
+func (f *Fuser) Freeze() {
+	f.fr.once.Do(func() {
+		n := f.d.NumTriples()
+		var ids []TripleID
+		for i := 0; i < n; i++ {
+			if len(f.d.Providers(TripleID(i))) > 0 {
+				ids = append(ids, TripleID(i))
+			}
+		}
+		scores := f.scoreModel(ids)
+		probs := make([]float64, n)
+		provided := make([]bool, n)
+		accepted := make([]bool, n)
+		for i, id := range ids {
+			p := scores[i]
+			probs[id] = p
+			provided[id] = true
+			if f.decideScored(id, p) {
+				accepted[id] = true
+			}
+		}
+		f.fr.probs = probs
+		f.fr.provided = provided
+		f.fr.accepted = accepted
+		f.fr.ready.Store(true)
+	})
+}
+
+// FrozenScores freezes the model (if it is not already) and returns the
+// dense score tables by TripleID: probability, whether the ID is in the
+// fused result set, and the acceptance decision. The slices are the index
+// itself, not copies — they are immutable and safe to share; callers must
+// not mutate them. This is the zero-copy hand-off the serving layer builds
+// its per-snapshot read index from.
+func (f *Fuser) FrozenScores() (probs []float64, provided, accepted []bool) {
+	f.Freeze()
+	return f.fr.probs, f.fr.provided, f.fr.accepted
+}
 
 // Rebuild trains a new Fuser over d with this Fuser's options. A Fuser is
 // immutable once built; Rebuild is the path by which a long-running system
