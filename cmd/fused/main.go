@@ -11,6 +11,8 @@
 //	      [-refresh 30s] [-persist out.jsonl] [-parallelism 0]
 //	      [-shards 1] [-rebuild-workers 0] [-partial-rebuild]
 //	      [-max-score-triples 1024] [-max-body-bytes 1048576]
+//	      [-wal dir] [-wal-sync always|interval|off]
+//	      [-wal-sync-interval 100ms] [-wal-segment-bytes 4194304]
 //
 // Endpoints (all JSON):
 //
@@ -30,6 +32,17 @@
 // beyond -max-score-triples triples, and /v1/score or /v1/observe bodies
 // beyond -max-body-bytes, are rejected with 413 and a structured error;
 // raise -max-body-bytes for large batch ingestion.
+//
+// With -wal DIR every observation is appended to a write-ahead log and made
+// durable BEFORE it is acknowledged: a crash (even SIGKILL or a power cut,
+// under -wal-sync always) loses no acknowledged write — startup replays the
+// log suffix the loaded store does not cover, and every successful persist
+// truncates the segments the snapshot now covers. -wal-sync always (the
+// default) group-commits concurrent writers into shared fsyncs; interval
+// fsyncs every -wal-sync-interval (bounding power-cut loss to one interval);
+// off leaves flushing to the OS. Without -wal an acknowledgment only
+// promises the claim reached memory; the window since the last persist is
+// lost on a crash. See the README's "Durability" section.
 //
 // With -shards N (N > 1) the store is partitioned by subject hash and every
 // batch re-fusion trains the N shard models concurrently on
@@ -57,6 +70,7 @@ import (
 	"corrfuse"
 	"corrfuse/internal/serve"
 	"corrfuse/internal/store"
+	"corrfuse/internal/wal"
 )
 
 // options collects the flag values that shape the service.
@@ -77,6 +91,11 @@ type options struct {
 	partialRebuild  bool
 	maxScoreTriples int
 	maxBodyBytes    int64
+
+	walDir          string
+	walSync         string
+	walSyncInterval time.Duration
+	walSegmentBytes int64
 }
 
 func main() {
@@ -95,6 +114,10 @@ func main() {
 	flag.BoolVar(&o.partialRebuild, "partial-rebuild", true, "retrain only dirty shards on re-fusions (effective with -shards > 1)")
 	flag.IntVar(&o.maxScoreTriples, "max-score-triples", serve.DefaultMaxScoreTriples, "max triples per /v1/score request (larger batches get 413)")
 	flag.Int64Var(&o.maxBodyBytes, "max-body-bytes", serve.DefaultMaxBodyBytes, "max request body bytes for /v1/score and /v1/observe (larger bodies get 413)")
+	flag.StringVar(&o.walDir, "wal", "", "write-ahead log directory: observes are durable before acknowledged (empty disables)")
+	flag.StringVar(&o.walSync, "wal-sync", wal.SyncAlways, "WAL fsync policy: always (group commit per ack), interval, off")
+	flag.DurationVar(&o.walSyncInterval, "wal-sync-interval", wal.DefaultSyncInterval, "WAL fsync period under -wal-sync interval")
+	flag.Int64Var(&o.walSegmentBytes, "wal-segment-bytes", wal.DefaultSegmentBytes, "rotate WAL segments past this size")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -127,6 +150,10 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		RefreshInterval: o.refresh,
 		MaxScoreTriples: o.maxScoreTriples,
 		MaxBodyBytes:    o.maxBodyBytes,
+		WALDir:          o.walDir,
+		WALSync:         o.walSync,
+		WALSyncInterval: o.walSyncInterval,
+		WALSegmentBytes: o.walSegmentBytes,
 		Logf:            log.Printf,
 	}
 	switch o.persist {
@@ -144,6 +171,9 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		RebuildWorkers: o.rebuildWorkers,
 	}
 	cfg.PartialRebuild = o.partialRebuild && o.shards > 1
+	if o.walDir != "" && cfg.PersistPath == "" {
+		return fmt.Errorf("-wal requires a persist path (WAL truncation rides the snapshot save): drop -persist - or point -persist somewhere")
+	}
 	switch o.method {
 	case "precrec":
 		cfg.Options.Method = corrfuse.PrecRec

@@ -7,8 +7,10 @@
 // Run in one terminal:
 //
 //	go run ./examples/serve -write-store /tmp/demo.jsonl
-//	go run ./cmd/fused -store /tmp/demo.jsonl -addr :8080 -smoothing 0.1
+//	go run ./cmd/fused -store /tmp/demo.jsonl -addr :8080 -smoothing 0.1 -wal /tmp/demo-wal
 //
+// (-wal makes every acknowledged observe durable before the ack — kill the
+// server however you like and restart it: nothing acknowledged is lost)
 // and in another:
 //
 //	go run ./examples/serve -addr http://localhost:8080
@@ -37,7 +39,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote demo store to %s\n", *writeStore)
-		fmt.Printf("start the service with:\n\tgo run ./cmd/fused -store %s -addr :8080 -smoothing 0.1\n", *writeStore)
+		fmt.Printf("start the service with:\n\tgo run ./cmd/fused -store %s -addr :8080 -smoothing 0.1 -wal %s-wal\n", *writeStore, *writeStore)
 		return
 	}
 	if err := drive(*addr); err != nil {

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"corrfuse/internal/store"
+	"corrfuse/internal/triple"
+)
+
+// crashChildEnv gates the child half of the crash-recovery test: when set,
+// the test binary runs a real WAL-backed server until it is killed.
+const (
+	crashChildEnv = "SERVE_CRASH_CHILD"
+	crashDirEnv   = "SERVE_CRASH_DIR"
+)
+
+// TestCrashChildProcess is not a test in its own right: it is the server
+// process TestCrashRecovery SIGKILLs. Run directly it skips.
+func TestCrashChildProcess(t *testing.T) {
+	if os.Getenv(crashChildEnv) != "1" {
+		t.Skip("helper process for TestCrashRecovery")
+	}
+	dir := os.Getenv(crashDirEnv)
+	storePath := filepath.Join(dir, "store.jsonl")
+	st, err := store.Load(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := walConfig(dir)
+	cfg.PersistPath = storePath
+	// No background refresher: the WAL is the only thing standing between
+	// an acknowledged observe and the kill — maximum crash exposure.
+	cfg.RefreshInterval = 0
+	srv, err := New(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish the address atomically so the parent never reads a torn file.
+	tmp := filepath.Join(dir, ".addr.tmp")
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "addr")); err != nil {
+		t.Fatal(err)
+	}
+	// Serve until SIGKILL. This never returns cleanly by design.
+	t.Fatal(http.Serve(ln, srv.Handler()))
+}
+
+// TestCrashRecovery is the end-to-end durability proof: a real server
+// process is SIGKILLed mid-ingest — after acknowledging writes, before any
+// snapshot persist — and restarted from the stale store plus the WAL. Every
+// observation the parent saw acknowledged must be present afterwards with
+// its provenance and label. (ack = durable, the tentpole contract.)
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "store.jsonl")
+	if err := seedStoreData().Save(storePath); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashChildProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), crashChildEnv+"=1", crashDirEnv+"="+dir)
+	var childOut bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &childOut, &childOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Reap through a channel: the poll loops below need to notice a child
+	// that dies early (cmd.ProcessState is only set by Wait, so polling it
+	// directly would spin forever).
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	reaped := false
+	reap := func() {
+		if !reaped {
+			<-waitErr
+			reaped = true
+		}
+	}
+	defer func() {
+		cmd.Process.Kill()
+		reap()
+	}()
+
+	// Wait for the child to publish its address. childOut is written by
+	// exec's copier goroutine, so it is only read after the child is
+	// reaped (Wait joins the copiers).
+	var base string
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if raw, err := os.ReadFile(filepath.Join(dir, "addr")); err == nil && len(raw) > 0 {
+			base = "http://" + string(raw)
+			break
+		}
+		select {
+		case <-waitErr:
+			reaped = true
+			t.Fatalf("child exited before becoming ready:\n%s", childOut.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			reap()
+			t.Fatalf("child never became ready:\n%s", childOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Hammer it from concurrent writers, recording exactly the
+	// observations whose acknowledgment (the 200 response) we received.
+	const writers = 4
+	const minAcked = 120
+	client := &http.Client{Timeout: 5 * time.Second}
+	sources := []string{"good1", "good2", "bad"}
+	acked := make([][]Observation, writers)
+	var ackCount atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				o := Observation{
+					Source:    sources[(w+i)%len(sources)],
+					Subject:   fmt.Sprintf("crash-%d-%d", w, i),
+					Predicate: "p",
+					Object:    "v",
+				}
+				if i%7 == 0 {
+					o.Label = "true"
+				}
+				raw, _ := json.Marshal(o)
+				resp, err := client.Post(base+"/v1/observe", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					return // the kill landed mid-request: not acknowledged
+				}
+				var body map[string]any
+				decErr := json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					return
+				}
+				// Full response received: this write was acknowledged.
+				acked[w] = append(acked[w], o)
+				ackCount.Add(1)
+			}
+		}(w)
+	}
+
+	// Kill the process mid-stream, with writers still in flight.
+	killDeadline := time.Now().Add(60 * time.Second)
+	for ackCount.Load() < minAcked {
+		select {
+		case <-waitErr:
+			reaped = true
+			t.Fatalf("child exited early:\n%s", childOut.String())
+		default:
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("only %d acknowledgments after 60s", ackCount.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	reap() // SIGKILL: Wait error by design
+	close(stop)
+	wg.Wait()
+	total := int(ackCount.Load())
+	if total < minAcked {
+		t.Fatalf("only %d acknowledged writes before the kill", total)
+	}
+
+	// Recover: the store file is still the seed (the child never
+	// persisted), so everything hangs on the WAL replay.
+	st2, err := store.Load(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := walConfig(dir)
+	cfg.PersistPath = storePath
+	srv2 := newServer(t, st2, cfg)
+	if srv2.walRecovered < total {
+		t.Errorf("WAL replayed %d records, but %d writes were acknowledged", srv2.walRecovered, total)
+	}
+	sn := srv2.snap.Load()
+	lost := 0
+	for w := range acked {
+		for _, o := range acked[w] {
+			tt := triple.Triple{Subject: o.Subject, Predicate: o.Predicate, Object: o.Object}
+			e, ok := st2.Get(tt)
+			if !ok {
+				lost++
+				t.Errorf("acknowledged observation %s lost", o.Subject)
+				continue
+			}
+			if !containsStr(e.Sources, o.Source) {
+				t.Errorf("%s lost its provenance: %v misses %s", o.Subject, e.Sources, o.Source)
+			}
+			if o.Label != "" && e.Label != o.Label {
+				t.Errorf("%s lost its label %q", o.Subject, o.Label)
+			}
+			if _, ok := sn.data.TripleID(tt); !ok {
+				t.Errorf("%s missing from the recovery snapshot's dataset", o.Subject)
+			}
+		}
+	}
+	if lost == 0 {
+		t.Logf("crash recovery: %d acknowledged writes killed mid-stream, 0 lost (%d replayed)", total, srv2.walRecovered)
+	}
+}

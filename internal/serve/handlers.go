@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -104,10 +105,14 @@ func (s *Server) payloadTooLarge(w http.ResponseWriter, limitField string, limit
 
 // decodeCapped JSON-decodes a request body into v under the server's byte
 // cap, answering 413 (structured, naming the limit) or 400 itself when the
-// body is oversized or malformed. It reports whether decoding succeeded.
+// body is oversized, malformed, or followed by trailing data — a second
+// JSON value (or garbage) after the document would otherwise be silently
+// dropped, acknowledging a request the client half-sent. It reports
+// whether decoding succeeded.
 func (s *Server) decodeCapped(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.payloadTooLarge(w, "maxBytes", tooLarge.Limit,
@@ -117,13 +122,40 @@ func (s *Server) decodeCapped(w http.ResponseWriter, r *http.Request, v any) boo
 		s.httpError(w, http.StatusBadRequest, "malformed body: %v", err)
 		return false
 	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		// Distinguish "the body kept going past the cap" from "there is a
+		// second value after the document": the former needs the 413 with
+		// the limit, not a framing complaint.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.payloadTooLarge(w, "maxBytes", tooLarge.Limit,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		s.httpError(w, http.StatusBadRequest, "trailing data after JSON document")
+		return false
+	}
 	return true
 }
 
 // handleObserve ingests one claim or a batch of claims. The body is either
-// a single Observation object or {"observations": [...]}, capped at the
-// same byte limit as /v1/score.
+// a single Observation object or {"observations": [...]} — carrying both is
+// ambiguous and rejected — capped at the same byte limit as /v1/score.
+//
+// The 200 response is the acknowledgment, and with a WAL configured it is
+// only written after the whole batch is durable per the sync policy: every
+// observation is appended to the log and the batch's highest sequence is
+// group-committed before a byte of the response leaves. Without a WAL the
+// acknowledgment only promises the claims reached memory.
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() && s.wal == nil {
+		// Shutdown has begun and there is no WAL to make this durable: the
+		// final persist may already have captured the store, so an ack now
+		// could be an acknowledged-then-lost write. Refuse instead.
+		s.httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
 	var batch struct {
 		Observation
 		Observations []Observation `json:"observations"`
@@ -131,9 +163,18 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeCapped(w, r, &batch) {
 		return
 	}
+	single := batch.Observation
+	hasSingle := single.Source != "" || single.Subject != "" || single.Predicate != "" || single.Object != "" || single.Label != ""
+	if hasSingle && len(batch.Observations) > 0 {
+		// Both forms at once: the single-object fields used to be silently
+		// dropped in favor of the array — reject the ambiguity instead.
+		s.httpError(w, http.StatusBadRequest,
+			"ambiguous body: carries both a top-level observation and \"observations\"; send one or the other")
+		return
+	}
 	obs := batch.Observations
 	if len(obs) == 0 {
-		obs = []Observation{batch.Observation}
+		obs = []Observation{single}
 	}
 	// Validate the whole batch before applying any of it, so a 400 means
 	// nothing was ingested.
@@ -150,14 +191,44 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	results := make([]ObserveResult, 0, len(obs))
+	var maxSeq uint64
 	for _, o := range obs {
-		results = append(results, s.ingest(o))
+		res, seq, err := s.ingest(o)
+		if err != nil {
+			// The WAL refused the append (closed or poisoned): nothing in
+			// this response was acknowledged; claims already applied stay
+			// in memory unacknowledged (at-least-once).
+			s.httpError(w, http.StatusServiceUnavailable, "durability unavailable: %v", err)
+			return
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		results = append(results, res)
+	}
+	if s.wal != nil {
+		if err := s.wal.Commit(maxSeq); err != nil {
+			s.httpError(w, http.StatusServiceUnavailable, "durability unavailable: %v", err)
+			return
+		}
+	} else if s.closing.Load() {
+		// Re-check after the store writes: the entry check above races the
+		// flag flip, but this one cannot — the claims are in the store
+		// before this load, so either Close's final persist (which starts
+		// after the flip) captures them, or we see the flip here and
+		// refuse. Never acknowledged-then-lost.
+		s.httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
 	}
 	sn := s.snap.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"results":     results,
 		"snapshotSeq": sn.seq,
-	})
+	}
+	if s.wal != nil {
+		out["walSeq"] = maxSeq
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) status(sn *snapshot, e store.Entry) TripleStatus {
@@ -318,18 +389,42 @@ func (s *Server) handleRefuse(w http.ResponseWriter, r *http.Request) {
 		out["rebuiltShards"] = rebuilt
 		out["reusedShards"] = reused
 	}
+	if lastErr := s.lastPersistError(); lastErr != "" {
+		out["lastPersistError"] = lastErr
+	}
+	out["persistFailures"] = s.m.persistFailures.Load()
+	if s.wal != nil {
+		out["wal"] = s.walStatus()
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// walStatus summarizes the write-ahead log for /v1/refuse and /healthz:
+// recovery state (records replayed at startup) and the live log head.
+func (s *Server) walStatus() map[string]any {
+	st := s.wal.Stats()
+	return map[string]any{
+		"recoveredRecords": s.walRecovered,
+		"seq":              st.Seq,
+		"durableSeq":       st.DurableSeq,
+		"segments":         st.Segments,
+		"bytes":            st.Bytes,
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sn := s.snap.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":          "ok",
 		"snapshotSeq":     sn.seq,
 		"snapshotVersion": sn.version,
 		"indexVersion":    sn.idx.Version(),
 		"uptimeSeconds":   time.Since(s.started).Seconds(),
-	})
+	}
+	if s.wal != nil {
+		out["wal"] = s.walStatus()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // count wraps a handler with a per-endpoint request counter.

@@ -30,6 +30,13 @@ type metrics struct {
 	// up. It distinguishes batch-only degradation from normal operation.
 	onlineDisabled atomic.Uint64
 
+	// persistFailures counts store saves that failed; lastPersistErr holds
+	// the latest failure message ("" after a successful save) for
+	// /v1/refuse, so operators can alert on a service that can no longer
+	// persist instead of finding out from a log line.
+	persistFailures counter
+	lastPersistErr  atomic.Value
+
 	lastRebuildNanos atomic.Int64
 }
 
@@ -138,6 +145,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP corrfused_last_rebuild_seconds Duration of the last batch re-fusion.\n")
 	p("# TYPE corrfused_last_rebuild_seconds gauge\n")
 	p("corrfused_last_rebuild_seconds %.3f\n", time.Duration(s.m.lastRebuildNanos.Load()).Seconds())
+	p("# HELP corrfused_persist_failures_total Store saves that failed.\n")
+	p("# TYPE corrfused_persist_failures_total counter\n")
+	p("corrfused_persist_failures_total %d\n", s.m.persistFailures.Load())
+
+	if s.wal != nil {
+		st := s.wal.Stats()
+		p("# HELP corrfused_wal_seq Last assigned WAL sequence number.\n")
+		p("# TYPE corrfused_wal_seq gauge\n")
+		p("corrfused_wal_seq %d\n", st.Seq)
+		p("# HELP corrfused_wal_durable_seq Highest WAL sequence number covered by an fsync.\n")
+		p("# TYPE corrfused_wal_durable_seq gauge\n")
+		p("corrfused_wal_durable_seq %d\n", st.DurableSeq)
+		p("# HELP corrfused_wal_segments Live WAL segment files.\n")
+		p("# TYPE corrfused_wal_segments gauge\n")
+		p("corrfused_wal_segments %d\n", st.Segments)
+		p("# HELP corrfused_wal_bytes Total bytes across live WAL segments.\n")
+		p("# TYPE corrfused_wal_bytes gauge\n")
+		p("corrfused_wal_bytes %d\n", st.Bytes)
+		p("# HELP corrfused_wal_fsyncs_total WAL fsync calls (group commits, interval ticks, rotations).\n")
+		p("# TYPE corrfused_wal_fsyncs_total counter\n")
+		p("corrfused_wal_fsyncs_total %d\n", st.Fsyncs)
+		p("# HELP corrfused_wal_group_commit_size Records the most recent group-commit fsync made durable at once.\n")
+		p("# TYPE corrfused_wal_group_commit_size gauge\n")
+		p("corrfused_wal_group_commit_size %d\n", st.LastGroupCommit)
+		p("# HELP corrfused_wal_recovered_records Acknowledged observations replayed from the WAL at startup.\n")
+		p("# TYPE corrfused_wal_recovered_records gauge\n")
+		p("corrfused_wal_recovered_records %d\n", s.walRecovered)
+	}
 
 	shards := 1
 	if len(sn.shardStats) > 0 {

@@ -7,6 +7,7 @@ import (
 	"corrfuse/internal/index"
 	"corrfuse/internal/store"
 	"corrfuse/internal/triple"
+	"corrfuse/internal/wal"
 )
 
 // refresher periodically re-fuses the store in the background until the
@@ -266,14 +267,35 @@ func seedOnline(inc corrfuse.OnlineScorer, d *corrfuse.Dataset) error {
 }
 
 // ingest applies one claim: store first (so a concurrent capture that
-// precedes our journal entry already has it), then the live scorer and the
-// journal under the live write lock. It returns the freshest probability
-// available and whether it came from the live model.
-func (s *Server) ingest(o Observation) ObserveResult {
+// precedes our journal entry already has it), then the write-ahead log,
+// then the live scorer and the journal under the live write lock. It
+// returns the freshest probability available and whether it came from the
+// live model, plus the claim's WAL sequence number (0 without a WAL).
+//
+// The returned sequence is NOT yet durable: the caller must wal.Commit the
+// batch's highest sequence before acknowledging anything. Ordering matters
+// twice over: the store write precedes the WAL append so that a persist
+// capturing the WAL head is guaranteed to snapshot every logged record
+// (safe truncation), and the WAL append precedes the acknowledgment so a
+// crash can never eat an acknowledged claim. On a WAL append error the
+// claim may survive in the store unacknowledged — at-least-once, never
+// acknowledged-then-lost.
+func (s *Server) ingest(o Observation) (ObserveResult, uint64, error) {
 	t := triple.Triple{Subject: o.Subject, Predicate: o.Predicate, Object: o.Object}
 	entry := store.Entry{Triple: t, Sources: []string{o.Source}, Label: o.Label}
 	s.store.Put(entry)
 	s.m.observations.Add(1)
+
+	var seq uint64
+	if s.wal != nil {
+		var err error
+		seq, err = s.wal.Append(wal.Record{
+			Source: o.Source, Subject: o.Subject, Predicate: o.Predicate, Object: o.Object, Label: o.Label,
+		})
+		if err != nil {
+			return ObserveResult{Triple: t}, 0, err
+		}
+	}
 
 	res := ObserveResult{Triple: t}
 	s.live.Lock()
@@ -283,7 +305,7 @@ func (s *Server) ingest(o Observation) ObserveResult {
 		if e, ok := s.store.Get(t); ok {
 			res.Probability = e.Probability
 		}
-		return res
+		return res, seq, nil
 	}
 	sid, known := s.live.data.SourceID(o.Source)
 	if !known {
@@ -297,7 +319,7 @@ func (s *Server) ingest(o Observation) ObserveResult {
 		} else if e, ok := s.store.Get(t); ok {
 			res.Probability = e.Probability
 		}
-		return res
+		return res, seq, nil
 	}
 	p, err := s.live.inc.Observe(sid, t)
 	s.live.Unlock()
@@ -305,7 +327,7 @@ func (s *Server) ingest(o Observation) ObserveResult {
 		res.Probability = p
 		res.Live = true
 	}
-	return res
+	return res, seq, nil
 }
 
 // liveProbability returns the freshest probability for t. Triples whose

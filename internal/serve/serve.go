@@ -35,6 +35,7 @@ import (
 	"corrfuse/internal/index"
 	"corrfuse/internal/store"
 	"corrfuse/internal/triple"
+	"corrfuse/internal/wal"
 )
 
 // Default /v1/score bulk request limits; see Config.MaxScoreTriples and
@@ -93,6 +94,31 @@ type Config struct {
 	// PersistPath, when non-empty, is the JSONL file the store is saved
 	// to after every rebuild and on Close.
 	PersistPath string
+
+	// WALDir, when non-empty, enables the durable write-ahead log: every
+	// observation is appended (and, per WALSync, fsynced) BEFORE it is
+	// acknowledged, New replays any log suffix the loaded store does not
+	// cover (crash recovery), and each successful persist truncates the
+	// segments the snapshot now covers. With an empty WALDir an
+	// acknowledgment only promises the claim reached memory; the
+	// inter-persist window is lost on a crash. WALDir requires
+	// PersistPath: truncation rides the persist, so a WAL without
+	// snapshots would grow (and replay) without bound — New rejects the
+	// combination.
+	WALDir string
+
+	// WALSync is the WAL fsync policy: wal.SyncAlways (default — ack
+	// means fsynced, group-committed across concurrent writers),
+	// wal.SyncInterval (fsync on a timer; a power cut may lose up to one
+	// interval) or wal.SyncOff (the OS decides).
+	WALSync string
+
+	// WALSyncInterval is the fsync period under wal.SyncInterval
+	// (default 100ms).
+	WALSyncInterval time.Duration
+
+	// WALSegmentBytes rotates WAL segments past this size (default 4 MiB).
+	WALSegmentBytes int64
 
 	// Logf receives operational log lines. Nil silences logging.
 	Logf func(format string, args ...any)
@@ -176,6 +202,26 @@ type Server struct {
 	// rebuildMu serializes batch rebuilds (refresher ticks and /v1/refuse).
 	rebuildMu sync.Mutex
 
+	// wal is the durable write-ahead log, nil when Config.WALDir is empty.
+	// Ingests append to it before they are acknowledged; persist()
+	// truncates the segments each saved snapshot covers.
+	wal *wal.WAL
+	// walRecovered is the number of acknowledged observations New replayed
+	// from the WAL into the store at startup (crash recovery).
+	walRecovered int
+
+	// closing flips at the start of Close, before the final persist: from
+	// then on observes are refused (503) unless the WAL can still make
+	// them durable — an ack during shutdown must never be lost.
+	closing atomic.Bool
+
+	// persistMu serializes persist() (refresher ticks, /v1/refuse, Close).
+	// Without it a slow Save racing a newer one could rename an OLDER
+	// store snapshot over the target after the newer persist already
+	// truncated the WAL segments covering the difference — losing
+	// acknowledged, fsynced writes.
+	persistMu sync.Mutex
+
 	m metrics
 
 	// testOnlineHook, when non-nil, intercepts the online scorer derived
@@ -217,6 +263,36 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		s.maxBodyBytes = DefaultMaxBodyBytes
 	}
 	s.live.unknown = make(map[string]bool)
+	if cfg.WALDir != "" && cfg.PersistPath == "" {
+		return nil, fmt.Errorf("serve: WALDir requires PersistPath: WAL truncation rides the persist, so the log would grow and replay without bound")
+	}
+	if cfg.WALDir != "" {
+		// Open the log and replay the acknowledged observations the loaded
+		// store does not cover — the writes a crash would otherwise have
+		// dropped. Replay precedes the initial fusion below, so the first
+		// snapshot already scores the recovered claims; replaying a record
+		// the store does cover is a no-op (Put merges provenance).
+		w, recs, err := wal.Open(cfg.WALDir, wal.Options{
+			Sync:         cfg.WALSync,
+			SyncInterval: cfg.WALSyncInterval,
+			SegmentBytes: cfg.WALSegmentBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: wal: %w", err)
+		}
+		for _, r := range recs {
+			st.Put(store.Entry{
+				Triple:  triple.Triple{Subject: r.Subject, Predicate: r.Predicate, Object: r.Object},
+				Sources: []string{r.Source},
+				Label:   r.Label,
+			})
+		}
+		s.wal = w
+		s.walRecovered = len(recs)
+		if len(recs) > 0 {
+			s.logf("serve: wal: recovered %d acknowledged observations (through seq %d)", len(recs), recs[len(recs)-1].Seq)
+		}
+	}
 	if cfg.PartialRebuild && cfg.Options.Shards > 1 {
 		// Per-shard version counters feed the dirty-shard diff of every
 		// subsequent rebuild; the initial build below records the first
@@ -224,6 +300,9 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		st.TrackShards(cfg.Options.Shards)
 	}
 	if _, _, err := s.rebuild(true); err != nil {
+		if s.wal != nil {
+			s.wal.Close()
+		}
 		return nil, fmt.Errorf("serve: initial fusion: %w", err)
 	}
 	s.mux = http.NewServeMux()
@@ -246,10 +325,18 @@ func (s *Server) Start() {
 	})
 }
 
-// Close stops the refresher and saves the store a final time. It is safe to
-// call more than once, and also without a prior Start; the context bounds
-// the wait for the refresher.
+// Close stops the refresher, saves the store a final time and closes the
+// WAL. It is safe to call more than once, and also without a prior Start;
+// the context bounds the wait for the refresher.
+//
+// Shutdown ordering for in-flight ingests: closing flips before the final
+// persist, and from then on handleObserve refuses new observations (503)
+// unless the WAL can still make them durable. An observation the WAL
+// accepted after the final persist's capture stays in the log (truncation
+// only covers the captured prefix) and is replayed on the next startup —
+// acknowledged never means lost, even during shutdown.
 func (s *Server) Close(ctx context.Context) error {
+	s.closing.Store(true)
 	s.stopOnce.Do(func() { close(s.stop) })
 	// If Start never ran, consume its Once so no refresher can launch
 	// later and there is nothing to wait for.
@@ -259,7 +346,13 @@ func (s *Server) Close(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	return s.persist()
+	err := s.persist()
+	if s.wal != nil {
+		if werr := s.wal.Close(); err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 // Snapshot returns the sequence number, store version and age of the
@@ -275,12 +368,45 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// persist saves the store and, on success, truncates the WAL segments the
+// snapshot now covers. The WAL sequence is captured BEFORE the save: every
+// record at or below the capture finished its Append, and ingest writes the
+// store before appending, so the saved snapshot is guaranteed to contain
+// all of them — truncating through the capture can never drop an
+// acknowledged observation the snapshot missed. Failures are counted
+// (corrfused_persist_failures_total) and the latest error is surfaced in
+// /v1/refuse so operators can alert on a service that can no longer save.
 func (s *Server) persist() error {
 	if s.cfg.PersistPath == "" {
 		return nil
 	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	var capSeq uint64
+	if s.wal != nil {
+		capSeq = s.wal.Seq()
+	}
 	if err := s.store.Save(s.cfg.PersistPath); err != nil {
+		s.m.persistFailures.Add(1)
+		s.m.lastPersistErr.Store(err.Error())
 		return fmt.Errorf("serve: persist: %w", err)
 	}
+	s.m.lastPersistErr.Store("")
+	if s.wal != nil {
+		if err := s.wal.TruncateThrough(capSeq); err != nil {
+			// Non-fatal: an untruncated segment only costs replay time on
+			// the next startup, never correctness (replay is idempotent).
+			s.logf("serve: wal truncate: %v", err)
+		}
+	}
 	return nil
+}
+
+// lastPersistError returns the most recent persist failure, "" after a
+// successful save (or before any).
+func (s *Server) lastPersistError() string {
+	if v, ok := s.m.lastPersistErr.Load().(string); ok {
+		return v
+	}
+	return ""
 }

@@ -31,6 +31,12 @@ func tr(sub, obj string) triple.Triple {
 // on the word of the bad source alone.
 func seedStore(t *testing.T) *store.Store {
 	t.Helper()
+	return seedStoreData()
+}
+
+// seedStoreData is the testing.T-free builder behind seedStore, shared with
+// the ingest benchmarks and the crash-recovery subprocess.
+func seedStoreData() *store.Store {
 	st := store.New()
 	for i := 0; i < 8; i++ {
 		srcs := []string{"good1", "good2"}
@@ -268,7 +274,7 @@ func TestRefreshSkipsUnchangedStore(t *testing.T) {
 func TestUnknownSourcePending(t *testing.T) {
 	st := seedStore(t)
 	srv := newServer(t, st, corrConfig())
-	res := srv.ingest(Observation{Source: "newcomer", Subject: "x", Predicate: "p", Object: "v"})
+	res, _, _ := srv.ingest(Observation{Source: "newcomer", Subject: "x", Predicate: "p", Object: "v"})
 	if !res.PendingSource {
 		t.Fatal("claim from unknown source not flagged pending")
 	}
@@ -278,7 +284,7 @@ func TestUnknownSourcePending(t *testing.T) {
 	if _, skipped, err := srv.rebuild(false); err != nil || skipped {
 		t.Fatalf("rebuild: skipped=%v err=%v", skipped, err)
 	}
-	res = srv.ingest(Observation{Source: "newcomer", Subject: "y", Predicate: "p", Object: "v"})
+	res, _, _ = srv.ingest(Observation{Source: "newcomer", Subject: "y", Predicate: "p", Object: "v"})
 	if res.PendingSource || !res.Live {
 		t.Fatalf("newcomer still pending after re-fusion: %+v", res)
 	}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -324,11 +325,20 @@ func (s *Store) Read(r io.Reader) error {
 	return nil
 }
 
-// Save writes the store to a file, atomically: the data is streamed to a
-// temporary file in the same directory and renamed over the target, so a
-// crash mid-save never truncates an existing store.
+// fsyncFile syncs a file (or directory) to stable storage. It is a
+// variable so tests can intercept it and assert the sync-before-rename
+// ordering that makes Save crash-atomic.
+var fsyncFile = func(f *os.File) error { return f.Sync() }
+
+// Save writes the store to a file, atomically AND durably: the data is
+// streamed to a temporary file in the same directory, fsynced, renamed over
+// the target, and the parent directory is fsynced. The fsync before the
+// rename is what makes the atomicity real — without it a power cut can
+// leave the rename on disk pointing at a zero-length or partial file; the
+// directory fsync afterwards makes the rename itself survive the cut.
 func (s *Store) Save(path string) error {
-	f, err := os.CreateTemp(filepath.Dir(path), ".store-*.jsonl")
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".store-*.jsonl")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -338,6 +348,11 @@ func (s *Store) Save(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := fsyncFile(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: fsync: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
@@ -345,6 +360,19 @@ func (s *Store) Save(path string) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
+	}
+	if runtime.GOOS == "windows" {
+		// Windows cannot fsync a directory handle; NTFS journals the
+		// rename itself.
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := fsyncFile(d); err != nil {
+		return fmt.Errorf("store: fsync dir: %w", err)
 	}
 	return nil
 }

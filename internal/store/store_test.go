@@ -2,7 +2,10 @@ package store
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -303,4 +306,101 @@ func equalVersions(a, b []uint64) bool {
 		}
 	}
 	return true
+}
+
+// TestSaveFsyncBeforeRename: the regression test for crash-atomic saves.
+// Save must fsync the temp file BEFORE renaming it over the target (else a
+// power cut can publish a truncated store) and fsync the parent directory
+// after the rename (else the rename itself can vanish). The injectable
+// fsync hook records the ordering.
+func TestSaveFsyncBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.jsonl")
+
+	// A pre-existing target with known content lets the hook detect
+	// whether the rename already happened when the temp file is synced.
+	old := New()
+	old.Put(Entry{Triple: mk("old", "p", "v"), Sources: []string{"S1"}})
+	if err := old.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New()
+	s.Put(Entry{Triple: mk("new", "p", "v"), Sources: []string{"S1"}})
+
+	var calls []string
+	orig := fsyncFile
+	fsyncFile = func(f *os.File) error {
+		calls = append(calls, f.Name())
+		if strings.HasPrefix(filepath.Base(f.Name()), ".store-") {
+			// The temp-file sync must precede the rename: the target
+			// still holds the old content at this moment.
+			reloaded, err := Load(path)
+			if err != nil {
+				t.Errorf("target unreadable during temp-file sync: %v", err)
+			} else if _, ok := reloaded.Get(mk("old", "p", "v")); !ok {
+				t.Error("temp file synced after the rename already replaced the target")
+			}
+		}
+		return orig(f)
+	}
+	defer func() { fsyncFile = orig }()
+
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// old.Save above ran with the real hook; only s.Save is recorded.
+	if len(calls) != 2 {
+		t.Fatalf("fsync calls = %v, want [tempfile, dir]", calls)
+	}
+	if !strings.HasPrefix(filepath.Base(calls[0]), ".store-") {
+		t.Errorf("first fsync hit %q, want the temp file", calls[0])
+	}
+	if calls[1] != dir {
+		t.Errorf("second fsync hit %q, want the directory %q", calls[1], dir)
+	}
+
+	reloaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reloaded.Get(mk("new", "p", "v")); !ok {
+		t.Fatal("saved store does not hold the new content")
+	}
+}
+
+// TestSaveFsyncFailureAborts: a failed temp-file fsync must abort the save
+// and leave the existing target untouched.
+func TestSaveFsyncFailureAborts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.jsonl")
+	old := New()
+	old.Put(Entry{Triple: mk("old", "p", "v"), Sources: []string{"S1"}})
+	if err := old.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	orig := fsyncFile
+	fsyncFile = func(f *os.File) error { return errors.New("injected fsync failure") }
+	defer func() { fsyncFile = orig }()
+
+	s := New()
+	s.Put(Entry{Triple: mk("new", "p", "v"), Sources: []string{"S1"}})
+	if err := s.Save(path); err == nil {
+		t.Fatal("Save succeeded despite fsync failure")
+	}
+	fsyncFile = orig
+	reloaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reloaded.Get(mk("old", "p", "v")); !ok {
+		t.Fatal("failed save clobbered the existing store")
+	}
+	if _, ok := reloaded.Get(mk("new", "p", "v")); ok {
+		t.Fatal("failed save published new content")
+	}
+	if leftovers, _ := filepath.Glob(filepath.Join(dir, ".store-*")); len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
 }

@@ -1,0 +1,711 @@
+// Package wal is a segmented, append-only write-ahead log of observations:
+// the durability substrate under the fusion service's ingest path. Every
+// acknowledged claim is appended as a CRC-protected JSONL record with a
+// monotone sequence number before the acknowledgment is sent, so a crash
+// between two snapshot saves loses nothing that was acknowledged.
+//
+// Durability is group-committed: concurrent writers append to a shared
+// buffer under a short mutex and then wait on a commit ticket; a single
+// syncer goroutine flushes and fsyncs once for every batch of waiters and
+// releases them all, so the per-write fsync cost amortizes across
+// concurrent writers instead of serializing them (one fsync per write).
+//
+// The log is a directory of JSONL segments (wal-<firstseq>.jsonl). Appends
+// rotate to a fresh segment past a size threshold, and TruncateThrough
+// deletes the segments a newer store snapshot fully covers, so the live log
+// tracks the un-snapshotted suffix of the write stream, not its history.
+// Open replays the surviving records in order, tolerating (and trimming) a
+// torn final record from a crash mid-append; corruption anywhere else is an
+// error, never a silent gap.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sync policies. Always is the durable default: Commit returns only after
+// an fsync covers the committed sequence number (group-committed across
+// concurrent writers). Interval flushes each commit to the OS and fsyncs on
+// a timer, bounding loss to one interval of acknowledged writes on a power
+// cut (a process crash alone loses nothing the OS received). Off never
+// fsyncs outside rotation and Close; the OS decides when bytes reach disk.
+const (
+	SyncAlways   = "always"
+	SyncInterval = "interval"
+	SyncOff      = "off"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultSegmentBytes = 4 << 20
+	DefaultSyncInterval = 100 * time.Millisecond
+)
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+// Record is one acknowledged observation. Seq is assigned by Append and is
+// strictly monotone across the life of the log, surviving restarts.
+type Record struct {
+	Seq       uint64 `json:"seq"`
+	Source    string `json:"source"`
+	Subject   string `json:"subject"`
+	Predicate string `json:"predicate"`
+	Object    string `json:"object"`
+	Label     string `json:"label,omitempty"`
+}
+
+// envelope is the on-disk line: the marshaled record plus an IEEE CRC32
+// over its exact bytes, so a torn or bit-flipped line never replays as a
+// plausible observation.
+type envelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// Options configures a WAL. The zero value means SyncAlways, a 4 MiB
+// segment threshold and a 100 ms fsync interval (for SyncInterval).
+type Options struct {
+	// Sync is the fsync policy: SyncAlways (default), SyncInterval, SyncOff.
+	Sync string
+	// SyncInterval is the fsync period under SyncInterval.
+	SyncInterval time.Duration
+	// SegmentBytes rotates the live segment once it grows past this size.
+	SegmentBytes int64
+}
+
+// Stats is a point-in-time snapshot of the log's state.
+type Stats struct {
+	// Seq is the last assigned sequence number (0 before any append).
+	Seq uint64
+	// DurableSeq is the highest sequence number an fsync is known to
+	// cover. Under SyncInterval/SyncOff it trails Seq by design.
+	DurableSeq uint64
+	// Segments is the number of live segment files, the open one included.
+	Segments int
+	// Bytes is the total size of the live segment files.
+	Bytes int64
+	// Fsyncs counts fsync calls on segment data (group commits, interval
+	// ticks, rotations).
+	Fsyncs uint64
+	// LastGroupCommit is the number of records the most recent group
+	// commit fsync made durable in one call.
+	LastGroupCommit uint64
+	// Recovered is the number of records Open replayed.
+	Recovered int
+}
+
+// segment is a closed (no longer written) segment file.
+type segment struct {
+	path        string
+	first, last uint64 // sequence numbers it contains (first > last: empty)
+	bytes       int64
+}
+
+// WAL is an open write-ahead log. It is safe for concurrent use.
+type WAL struct {
+	dir  string
+	opts Options
+
+	// mu guards the write state: the open segment, its buffered writer,
+	// and the sequence counter. Appends hold it only for an in-memory
+	// buffer write; fsyncs happen outside it.
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	seq      uint64 // last assigned
+	segFirst uint64 // seq of the open segment's first record (seq+1 at creation)
+	segBytes int64
+	segs     []segment // closed segments, ascending
+	closed   bool
+
+	// dmu guards the durability state commit waiters block on.
+	dmu       sync.Mutex
+	dcond     *sync.Cond
+	durable   uint64
+	syncing   bool  // a group-commit leader's fsync is in flight
+	syncErr   error // sticky: a failed fsync poisons the log (fail-stop)
+	dclosed   bool
+	fsyncs    atomic.Uint64
+	lastGroup atomic.Uint64
+
+	quit       chan struct{}
+	syncerDone chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+
+	recovered int
+
+	// syncFile is the fsync implementation, injectable by tests (e.g. to
+	// slow it down and prove commits coalesce).
+	syncFile func(*os.File) error
+}
+
+// Open opens (creating if necessary) the log directory, replays every
+// surviving record in order and returns them along with a WAL positioned to
+// append after the last one. A torn final record — a crash mid-append — is
+// trimmed from the last segment and replay stops there; a corrupt record
+// anywhere earlier is an error.
+func Open(dir string, opts Options) (*WAL, []Record, error) {
+	switch opts.Sync {
+	case "":
+		opts.Sync = SyncAlways
+	case SyncAlways, SyncInterval, SyncOff:
+	default:
+		return nil, nil, fmt.Errorf("wal: unknown sync policy %q", opts.Sync)
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = DefaultSyncInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{
+		dir:        dir,
+		opts:       opts,
+		quit:       make(chan struct{}),
+		syncerDone: make(chan struct{}),
+		syncFile:   (*os.File).Sync,
+	}
+	w.dcond = sync.NewCond(&w.dmu)
+
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.jsonl"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	sort.Strings(paths) // zero-padded first-seq names sort chronologically
+
+	var records []Record
+	next := uint64(0) // expected seq of the next record; 0 = any (first retained)
+	for i, path := range paths {
+		last := i == len(paths)-1
+		recs, good, size, err := readSegment(path, next, last)
+		if err != nil {
+			return nil, nil, err
+		}
+		if last && good < size {
+			// Torn tail: trim the file to the last good record boundary so
+			// a future replay never walks past garbage.
+			if err := os.Truncate(path, good); err != nil {
+				return nil, nil, fmt.Errorf("wal: trim torn tail of %s: %w", path, err)
+			}
+			size = good
+		}
+		sg := segment{path: path, bytes: size}
+		if len(recs) > 0 {
+			sg.first, sg.last = recs[0].Seq, recs[len(recs)-1].Seq
+			next = sg.last + 1
+		} else {
+			// An empty segment (fresh, or fully torn-trimmed) still pins
+			// the sequence: its name is the seq of the first record it
+			// would hold. Guessing instead (e.g. restarting at 1) would
+			// reset the counter after a truncate-then-reboot and reuse
+			// sequence numbers, eventually wedging recovery on a bogus
+			// gap error.
+			first, err := parseSegmentFirst(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			if next != 0 && first != next {
+				return nil, nil, fmt.Errorf("wal: empty segment %s does not continue the log at seq %d", path, next)
+			}
+			next = first
+			sg.first, sg.last = first, first-1
+		}
+		w.segs = append(w.segs, sg)
+		records = append(records, recs...)
+	}
+	if next > 0 {
+		w.seq = next - 1
+	}
+	w.recovered = len(records)
+	// Everything replayed is on disk already.
+	w.durable = w.seq
+
+	// Continue appending to the last segment if there is one (it was
+	// trimmed to a clean record boundary above); otherwise start fresh.
+	if n := len(w.segs); n > 0 {
+		sg := w.segs[n-1]
+		w.segs = w.segs[:n-1]
+		f, err := os.OpenFile(sg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: reopen %s: %w", sg.path, err)
+		}
+		w.f = f
+		w.segBytes = sg.bytes
+		w.segFirst = sg.first
+	} else {
+		if err := w.createSegment(); err != nil {
+			return nil, nil, err
+		}
+	}
+	w.bw = bufio.NewWriter(w.f)
+
+	// Only the interval policy needs a background goroutine; under
+	// SyncAlways the committing writers themselves run the group commits
+	// (leader/follower), and SyncOff never fsyncs outside rotation/Close.
+	if opts.Sync == SyncInterval {
+		go w.syncer()
+	} else {
+		close(w.syncerDone)
+	}
+	return w, records, nil
+}
+
+// readSegment replays one segment file. next is the expected sequence
+// number of its first record (0 = accept any); last marks the final
+// segment, whose tail may be torn. It returns the records, the byte offset
+// just past the last good record, and the file size. A record is good only
+// if it parses, its CRC matches AND its newline terminator made it to disk
+// — a newline-less tail is torn even when the bytes so far parse, because
+// appending to it would glue two records into one corrupt line.
+func readSegment(path string, next uint64, last bool) (recs []Record, good, size int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	size = int64(len(data))
+	offset := 0
+	line := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			if last {
+				return recs, int64(offset), size, nil
+			}
+			return nil, 0, 0, fmt.Errorf("wal: %s: record without newline terminator mid-log", path)
+		}
+		raw := data[offset : offset+nl]
+		line++
+		if len(raw) > 0 {
+			var env envelope
+			rec, perr := decodeLine(raw, &env)
+			if perr != nil {
+				if last {
+					// Torn tail from a crash mid-append: everything after
+					// the tear was written later and is equally suspect.
+					return recs, int64(offset), size, nil
+				}
+				return nil, 0, 0, fmt.Errorf("wal: %s line %d: %w", path, line, perr)
+			}
+			if next != 0 && rec.Seq != next {
+				return nil, 0, 0, fmt.Errorf("wal: %s line %d: sequence %d, want %d (gap or reordering)", path, line, rec.Seq, next)
+			}
+			next = rec.Seq + 1
+			recs = append(recs, rec)
+		}
+		offset += nl + 1
+	}
+	return recs, int64(offset), size, nil
+}
+
+// decodeLine parses and verifies one JSONL envelope.
+func decodeLine(raw []byte, env *envelope) (Record, error) {
+	if err := json.Unmarshal(raw, env); err != nil {
+		return Record{}, fmt.Errorf("parse: %w", err)
+	}
+	if crc32.ChecksumIEEE(env.Rec) != env.CRC {
+		return Record{}, errors.New("crc mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Rec, &rec); err != nil {
+		return Record{}, fmt.Errorf("record: %w", err)
+	}
+	if rec.Seq == 0 {
+		return Record{}, errors.New("record without sequence number")
+	}
+	return rec, nil
+}
+
+// segmentPath names a segment by the first sequence number it will hold.
+func (w *WAL) segmentPath(first uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("wal-%016d.jsonl", first))
+}
+
+// parseSegmentFirst recovers the first sequence number a segment was named
+// for (the inverse of segmentPath).
+func parseSegmentFirst(path string) (uint64, error) {
+	name := filepath.Base(path)
+	var first uint64
+	if _, err := fmt.Sscanf(name, "wal-%d.jsonl", &first); err != nil || first == 0 {
+		return 0, fmt.Errorf("wal: segment %s has no parseable sequence in its name", path)
+	}
+	return first, nil
+}
+
+// createSegment opens a fresh segment for the next record and fsyncs the
+// directory so the new name survives a crash. Callers hold mu (or are
+// single-threaded in Open).
+func (w *WAL) createSegment() error {
+	first := w.seq + 1
+	path := w.segmentPath(first)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segFirst = first
+	w.segBytes = 0
+	return nil
+}
+
+// rotate closes the open segment (flushed and fsynced, so every record in
+// it counts as durable from here on) and starts a new one. Callers hold mu.
+//
+// The fsync deliberately runs under mu, stalling concurrent appends once
+// per SegmentBytes: the single `durable` watermark is only sound if every
+// fsync-covered sequence range is contiguous, which the synchronous
+// old-segment fsync guarantees. Retiring the file asynchronously would
+// need a per-segment durability frontier to avoid acknowledging records
+// whose file has not been synced yet — complexity not worth a bounded,
+// rare stall.
+func (w *WAL) rotate() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: rotate flush: %w", err)
+	}
+	if err := w.syncFile(w.f); err != nil {
+		return fmt.Errorf("wal: rotate fsync: %w", err)
+	}
+	w.fsyncs.Add(1)
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	w.segs = append(w.segs, segment{path: w.segmentPath(w.segFirst), first: w.segFirst, last: w.seq, bytes: w.segBytes})
+	if err := w.createSegment(); err != nil {
+		return err
+	}
+	w.bw.Reset(w.f)
+	// The closed segment is fully fsynced: everything up to its last
+	// record is durable even if no group commit ran yet.
+	w.dmu.Lock()
+	if last := w.segs[len(w.segs)-1].last; last > w.durable {
+		w.durable = last
+		w.dcond.Broadcast()
+	}
+	w.dmu.Unlock()
+	return nil
+}
+
+// Append writes one record to the log buffer and returns its sequence
+// number. It does NOT wait for durability — call Commit with the returned
+// (or the batch's highest) sequence number before acknowledging.
+func (w *WAL) Append(r Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.segBytes >= w.opts.SegmentBytes && w.seq >= w.segFirst {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	w.seq++
+	r.Seq = w.seq
+	rec, err := json.Marshal(r)
+	if err != nil {
+		w.seq--
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	line, err := json.Marshal(envelope{CRC: crc32.ChecksumIEEE(rec), Rec: rec})
+	if err != nil {
+		w.seq--
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.bw.Write(line); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	w.segBytes += int64(len(line))
+	return w.seq, nil
+}
+
+// Commit makes the log durable through seq per the sync policy and then
+// returns. Under SyncAlways it blocks until a (group-committed) fsync
+// covers seq; under SyncInterval and SyncOff it only pushes the buffer to
+// the OS — the fsync happens on the timer, or whenever the OS decides.
+func (w *WAL) Commit(seq uint64) error {
+	if seq == 0 {
+		return nil
+	}
+	if w.opts.Sync != SyncAlways {
+		// The commit itself only pushes to the OS, but a sticky fsync
+		// failure from the interval syncer must still fail the ack:
+		// otherwise the service would keep acknowledging writes forever
+		// while nothing new reaches disk, unbounding the documented
+		// one-interval loss window.
+		w.dmu.Lock()
+		serr := w.syncErr
+		w.dmu.Unlock()
+		if serr != nil {
+			return serr
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return ErrClosed
+		}
+		err := w.bw.Flush()
+		w.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		return nil
+	}
+	// Leader/follower group commit: the first waiter whose record is not
+	// yet durable runs the flush+fsync itself (no goroutine handoff on
+	// the hot path); everyone who appended before its flush rides the same
+	// fsync and is released together. Writers that arrive during the
+	// leader's fsync queue up as the next batch and elect the next leader
+	// the moment the broadcast wakes them.
+	w.dmu.Lock()
+	defer w.dmu.Unlock()
+	for {
+		if w.durable >= seq {
+			return nil
+		}
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		if w.dclosed {
+			return ErrClosed
+		}
+		if !w.syncing {
+			w.syncing = true
+			w.dmu.Unlock()
+			// Let already-runnable writers finish their appends before the
+			// flush picks its target: on few-core machines the leader
+			// otherwise outruns the pack and fsyncs batches of one.
+			runtime.Gosched()
+			target, err := w.flushAndSync()
+			w.dmu.Lock()
+			w.syncing = false
+			w.finishSync(target, err)
+			w.dcond.Broadcast()
+			continue
+		}
+		w.dcond.Wait()
+	}
+}
+
+// syncer is the interval policy's timer loop.
+func (w *WAL) syncer() {
+	defer close(w.syncerDone)
+	t := time.NewTicker(w.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.quit:
+			w.syncPass()
+			return
+		case <-t.C:
+			w.syncPass()
+		}
+	}
+}
+
+// flushAndSync pushes the buffer to the OS under mu, then fsyncs OUTSIDE
+// it so appends proceed concurrently with the disk wait. It returns the
+// highest sequence number the pass covered.
+func (w *WAL) flushAndSync() (uint64, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	target := w.seq
+	err := w.bw.Flush()
+	f := w.f
+	w.mu.Unlock()
+	if err == nil {
+		err = w.syncFile(f)
+		// A rotation may close f between our flush and fsync; rotation
+		// itself fsyncs the segment first, so the data is durable and the
+		// error is benign.
+		if errors.Is(err, os.ErrClosed) {
+			err = nil
+		}
+	}
+	w.fsyncs.Add(1)
+	if err != nil {
+		return target, fmt.Errorf("wal: fsync: %w", err)
+	}
+	return target, nil
+}
+
+// finishSync records a completed pass. Callers hold dmu.
+func (w *WAL) finishSync(target uint64, err error) {
+	if err != nil {
+		w.syncErr = err
+	} else if target > w.durable {
+		w.lastGroup.Store(target - w.durable)
+		w.durable = target
+	}
+}
+
+// syncPass is one complete flush+fsync+publish cycle (interval ticks,
+// forced Sync).
+func (w *WAL) syncPass() {
+	target, err := w.flushAndSync()
+	if errors.Is(err, ErrClosed) {
+		return
+	}
+	w.dmu.Lock()
+	w.finishSync(target, err)
+	w.dcond.Broadcast()
+	w.dmu.Unlock()
+}
+
+// Seq returns the last assigned sequence number. Every record at or below
+// it has completed its Append call.
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// TruncateThrough deletes the segments whose records a newer snapshot fully
+// covers (every record seq'd at or below seq). The open segment is rotated
+// first if it is fully covered too, so a snapshot taken at the log head
+// empties the log. Records above seq are always retained.
+func (w *WAL) TruncateThrough(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.seq <= seq && w.seq >= w.segFirst {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	// Delete only a contiguous prefix: if a removal fails, every later
+	// segment must survive too, or the log would recover with a mid-log
+	// sequence gap and refuse to open. A retained covered segment only
+	// costs idempotent replay; a gap is fatal.
+	removed := false
+	var firstErr error
+	drop := 0
+	for _, sg := range w.segs {
+		covered := sg.last <= seq // holds for empty markers too (first > last)
+		if !covered {
+			break
+		}
+		if err := os.Remove(sg.path); err != nil {
+			firstErr = fmt.Errorf("wal: truncate: %w", err)
+			break
+		}
+		removed = true
+		drop++
+	}
+	w.segs = append(w.segs[:0:0], w.segs[drop:]...)
+	if removed {
+		if err := syncDir(w.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Sync forces one flush+fsync pass regardless of policy.
+func (w *WAL) Sync() error {
+	w.syncPass()
+	w.dmu.Lock()
+	defer w.dmu.Unlock()
+	return w.syncErr
+}
+
+// Stats returns a point-in-time snapshot of the log's state.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	st := Stats{
+		Seq:       w.seq,
+		Segments:  len(w.segs) + 1,
+		Bytes:     w.segBytes,
+		Recovered: w.recovered,
+	}
+	for _, sg := range w.segs {
+		st.Bytes += sg.bytes
+	}
+	if w.closed {
+		st.Segments--
+	}
+	w.mu.Unlock()
+	w.dmu.Lock()
+	st.DurableSeq = w.durable
+	w.dmu.Unlock()
+	st.Fsyncs = w.fsyncs.Load()
+	st.LastGroupCommit = w.lastGroup.Load()
+	return st
+}
+
+// Close flushes and fsyncs the open segment and stops the syncer. Appends
+// and commits after Close return ErrClosed; commit waiters in flight are
+// released (their records are flushed, but only fsync-covered ones were
+// ever reported durable).
+func (w *WAL) Close() error {
+	w.closeOnce.Do(func() {
+		close(w.quit)
+		<-w.syncerDone // final syncPass covers everything appended so far
+		w.mu.Lock()
+		err := w.bw.Flush()
+		if serr := w.syncFile(w.f); err == nil {
+			err = serr
+		}
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		final := w.seq
+		w.closed = true
+		w.mu.Unlock()
+		w.dmu.Lock()
+		if err == nil && final > w.durable {
+			w.durable = final
+		}
+		w.dclosed = true
+		w.dcond.Broadcast()
+		w.dmu.Unlock()
+		if err != nil {
+			w.closeErr = fmt.Errorf("wal: close: %w", err)
+		}
+	})
+	return w.closeErr
+}
+
+// syncDir fsyncs a directory so renames, creations and deletions in it are
+// on disk. Windows cannot fsync a directory handle (and does not need to:
+// NTFS metadata operations are journaled), so it is a no-op there.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
