@@ -35,10 +35,13 @@ import (
 // queryBenchState caches the trained server and query workload across the
 // BenchmarkQuery* family (training the 52k-triple model once).
 type queryBenchState struct {
-	handler  http.Handler
-	baseline corrfuse.Model // unfrozen: scores recompute through the algorithm
-	st       *store.Store
-	triples  []triple.Triple
+	handler http.Handler
+	// handlerNoObs serves the same data with Config.DisableInstrumentation:
+	// the per-request delta against handler is the observability overhead.
+	handlerNoObs http.Handler
+	baseline     corrfuse.Model // unfrozen: scores recompute through the algorithm
+	st           *store.Store
+	triples      []triple.Triple
 }
 
 // hubSubject is a deliberately wide subject (hubEntries triples) added on
@@ -72,6 +75,10 @@ func queryBench(b *testing.B) *queryBenchState {
 	if err != nil {
 		b.Fatal(err)
 	}
+	srvNoObs, err := serve.New(st, serve.Config{Options: opts, PenalizeSilence: true, DisableInstrumentation: true})
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	// The unfrozen engine never fuses, so its Score/Probability run the
 	// correlation-aware algorithm per call — the pre-index read path. It is
@@ -82,7 +89,7 @@ func queryBench(b *testing.B) *queryBenchState {
 		b.Fatal(err)
 	}
 
-	qs := &queryBenchState{handler: srv.Handler(), baseline: baseline, st: st}
+	qs := &queryBenchState{handler: srv.Handler(), handlerNoObs: srvNoObs.Handler(), baseline: baseline, st: st}
 	for _, id := range providedIDs(d2) {
 		qs.triples = append(qs.triples, d2.Triple(id))
 	}
@@ -158,6 +165,21 @@ func BenchmarkQueryBulk64Indexed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		postScore(b, qs.handler, bodies[i%len(bodies)])
+	}
+	reportTriplesPerSec(b, 64)
+}
+
+// BenchmarkQueryBulk64IndexedNoObs re-runs the acceptance benchmark with
+// instrumentation disabled (no tracing, no latency histograms, no status
+// accounting): the delta against BenchmarkQueryBulk64Indexed is the
+// end-to-end observability overhead on the read path — budgeted at ≤ 5%.
+// CI records both in BENCH_obs.json.
+func BenchmarkQueryBulk64IndexedNoObs(b *testing.B) {
+	qs := queryBench(b)
+	bodies := scoreBodies(b, qs, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postScore(b, qs.handlerNoObs, bodies[i%len(bodies)])
 	}
 	reportTriplesPerSec(b, 64)
 }

@@ -13,6 +13,9 @@
 //	      [-max-score-triples 1024] [-max-body-bytes 1048576]
 //	      [-wal dir] [-wal-sync always|interval|off]
 //	      [-wal-sync-interval 100ms] [-wal-segment-bytes 4194304]
+//	      [-log-format text|json] [-log-level info] [-slow-request 1s]
+//	      [-trace-buffer 256] [-trace-threshold 0]
+//	      [-debug-addr localhost:6060] [-no-instrumentation]
 //
 // Endpoints (all JSON):
 //
@@ -22,8 +25,21 @@
 //	GET  /v1/source/{s}   fused results a source contributed to, pre-ranked
 //	POST /v1/score        bulk-score up to -max-score-triples triples
 //	POST /v1/refuse       force a batch re-fusion now
-//	GET  /healthz         liveness + snapshot sequence
+//	GET  /healthz         liveness + snapshot sequence + build info
 //	GET  /metrics         Prometheus metrics
+//	GET  /debug/traces    ring buffer of recent request/refresh traces
+//
+// Every request is traced: a well-formed X-Corrfused-Trace-Id header is
+// honored (and echoed on the response; a fresh ID is generated otherwise),
+// stages are timed into per-endpoint and per-stage latency histograms, and
+// finished traces land in the /debug/traces ring buffer (-trace-buffer
+// entries, filtered to ≥ -trace-threshold when set). Requests slower than
+// -slow-request are logged as structured warnings carrying the trace ID.
+// -log-format json switches logs to one JSON object per line.
+//
+// With -debug-addr the service additionally serves net/http/pprof profiles,
+// /debug/traces and /metrics on a SEPARATE listener — bind it to localhost
+// so profiling and introspection never ride the public address.
 //
 // Reads are served from an immutable per-snapshot index frozen at every
 // re-fusion: point lookups and pre-ranked subject/source listings are O(1)
@@ -59,15 +75,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"corrfuse"
+	"corrfuse/internal/obs"
 	"corrfuse/internal/serve"
 	"corrfuse/internal/store"
 	"corrfuse/internal/wal"
@@ -96,6 +113,14 @@ type options struct {
 	walSync         string
 	walSyncInterval time.Duration
 	walSegmentBytes int64
+
+	logFormat      string
+	logLevel       string
+	slowRequest    time.Duration
+	traceBuffer    int
+	traceThreshold time.Duration
+	debugAddr      string
+	noInstrument   bool
 }
 
 func main() {
@@ -118,6 +143,13 @@ func main() {
 	flag.StringVar(&o.walSync, "wal-sync", wal.SyncAlways, "WAL fsync policy: always (group commit per ack), interval, off")
 	flag.DurationVar(&o.walSyncInterval, "wal-sync-interval", wal.DefaultSyncInterval, "WAL fsync period under -wal-sync interval")
 	flag.Int64Var(&o.walSegmentBytes, "wal-segment-bytes", wal.DefaultSegmentBytes, "rotate WAL segments past this size")
+	flag.StringVar(&o.logFormat, "log-format", "text", "log format: text or json (one object per line)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
+	flag.DurationVar(&o.slowRequest, "slow-request", time.Second, "log a structured warning for requests at least this slow (0 disables)")
+	flag.IntVar(&o.traceBuffer, "trace-buffer", 256, "recent traces retained for /debug/traces")
+	flag.DurationVar(&o.traceThreshold, "trace-threshold", 0, "retain only traces at least this slow (0 retains all)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof, /debug/traces and /metrics on this separate address (empty disables; bind to localhost)")
+	flag.BoolVar(&o.noInstrument, "no-instrumentation", false, "disable per-request tracing/histograms (overhead benchmarking only)")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -138,6 +170,12 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 	if o.shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, got %d", o.shards)
 	}
+	level, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level, o.logFormat)
+
 	st, err := store.Load(o.storePath)
 	if err != nil {
 		return err
@@ -147,14 +185,18 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 	}
 
 	cfg := serve.Config{
-		RefreshInterval: o.refresh,
-		MaxScoreTriples: o.maxScoreTriples,
-		MaxBodyBytes:    o.maxBodyBytes,
-		WALDir:          o.walDir,
-		WALSync:         o.walSync,
-		WALSyncInterval: o.walSyncInterval,
-		WALSegmentBytes: o.walSegmentBytes,
-		Logf:            log.Printf,
+		RefreshInterval:        o.refresh,
+		MaxScoreTriples:        o.maxScoreTriples,
+		MaxBodyBytes:           o.maxBodyBytes,
+		WALDir:                 o.walDir,
+		WALSync:                o.walSync,
+		WALSyncInterval:        o.walSyncInterval,
+		WALSegmentBytes:        o.walSegmentBytes,
+		Logger:                 logger,
+		SlowRequestThreshold:   o.slowRequest,
+		TraceBufferSize:        o.traceBuffer,
+		TraceThreshold:         o.traceThreshold,
+		DisableInstrumentation: o.noInstrument,
 	}
 	switch o.persist {
 	case "":
@@ -211,6 +253,28 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		return err
 	}
 
+	// Optional debug listener: pprof profiles, the trace ring buffer and a
+	// metrics mirror on their own address, so profiling and introspection
+	// never ride the public listener.
+	var ds *http.Server
+	if o.debugAddr != "" {
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/traces", srv.TracesHandler())
+		dmux.Handle("/metrics", srv.MetricsHandler())
+		ds = &http.Server{Handler: dmux}
+		go ds.Serve(dln)
+		logger.Info(ctx, "debug listener up", "addr", dln.Addr().String())
+	}
+
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
@@ -219,7 +283,10 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 	srv.Start()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	log.Printf("fused: serving %d triples on %s (%d shards)", st.Len(), ln.Addr(), o.shards)
+	bi := obs.GetBuildInfo()
+	logger.Info(ctx, "fused: serving",
+		"triples", st.Len(), "addr", ln.Addr().String(), "shards", o.shards,
+		"version", bi.Version, "commit", bi.Commit, "go", bi.GoVersion)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -229,9 +296,12 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("fused: shutting down")
+	logger.Info(ctx, "fused: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if ds != nil {
+		ds.Shutdown(shutCtx)
+	}
 	if err := hs.Shutdown(shutCtx); err != nil {
 		return err
 	}

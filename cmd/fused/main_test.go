@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"path/filepath"
 	"testing"
@@ -161,6 +163,113 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(ctx, base(empty), nil); err == nil {
 		t.Error("empty store should fail")
+	}
+	o = base(path)
+	o.logLevel = "loud"
+	if err := run(ctx, o, nil); err == nil {
+		t.Error("unknown log level should fail")
+	}
+}
+
+// TestObservabilityEndpoints boots the run loop with a debug listener and
+// checks the observability surface end to end: trace ID echo and retrieval
+// via /debug/traces, build info on /healthz, and pprof + metrics on the
+// separate debug address.
+func TestObservabilityEndpoints(t *testing.T) {
+	path := writeStore(t)
+
+	// Reserve a port for the debug listener (closed again before run binds
+	// it; the tiny reuse race is acceptable in tests).
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := dln.Addr().String()
+	dln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, options{
+			storePath: path, addr: "127.0.0.1:0", method: "corr", scope: "global",
+			smoothing: 0.1, refresh: time.Hour, shards: 1, persist: "-",
+			logFormat: "json", logLevel: "warn",
+			debugAddr: debugAddr, traceBuffer: 32,
+		}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	defer func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("server never shut down")
+		}
+	}()
+
+	// A well-formed caller trace ID is honored and echoed.
+	req, _ := http.NewRequest("GET", base+"/healthz", nil)
+	req.Header.Set("X-Corrfused-Trace-Id", "cmd-test-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Corrfused-Trace-Id"); got != "cmd-test-trace-1" {
+		t.Errorf("trace ID not echoed: got %q", got)
+	}
+	for _, field := range []string{"version", "commit", "goVersion"} {
+		if v, ok := health[field].(string); !ok || v == "" {
+			t.Errorf("healthz missing build info field %q: %v", field, health[field])
+		}
+	}
+
+	// The traced request is retrievable from the debug listener's ring.
+	dbase := "http://" + debugAddr
+	resp, err = http.Get(dbase + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug /debug/traces: %d", resp.StatusCode)
+	}
+	if !bytes.Contains(raw, []byte("cmd-test-trace-1")) {
+		t.Errorf("trace not found in /debug/traces: %s", raw)
+	}
+
+	// pprof and the metrics mirror are up on the debug address.
+	resp, err = http.Get(dbase + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("debug pprof: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(dbase + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(raw, []byte("corrfused_build_info{")) {
+		t.Errorf("debug /metrics missing corrfused_build_info: %.200s", raw)
 	}
 }
 

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+)
+
+// Version and Commit identify the running build. They are variables, not
+// constants, so release builds inject real values at link time:
+//
+//	go build -ldflags "-X corrfuse/internal/obs.Version=$(git describe --tags --always) \
+//	                   -X corrfuse/internal/obs.Commit=$(git rev-parse --short HEAD)" ./cmd/fused
+//
+// The defaults identify an uninjected developer build.
+var (
+	Version = "dev"
+	Commit  = "unknown"
+)
+
+// BuildInfo is the build identity exposed on /healthz and as the
+// corrfused_build_info metric.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	GoVersion string `json:"goVersion"`
+}
+
+// GetBuildInfo returns the running build's identity.
+func GetBuildInfo() BuildInfo {
+	return BuildInfo{Version: Version, Commit: Commit, GoVersion: runtime.Version()}
+}
+
+// RegisterBuildInfo adds the corrfused_build_info constant gauge to a
+// registry: value 1 with the build identity as labels, the standard
+// Prometheus idiom for joining version metadata onto other series.
+func RegisterBuildInfo(r *Registry, name string) {
+	bi := GetBuildInfo()
+	labels := "{version=" + strconv.Quote(bi.Version) + ",commit=" + strconv.Quote(bi.Commit) +
+		",go_version=" + strconv.Quote(bi.GoVersion) + "}"
+	r.SampleFunc(name, "Build identity of the running binary.", "gauge", func() []Sample {
+		return []Sample{{Labels: labels, Value: 1}}
+	})
+}

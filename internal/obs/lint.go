@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-exposition document against
+// the invariants the registry promises:
+//
+//   - every sample line belongs to a family whose # HELP and # TYPE were
+//     both declared before it;
+//   - no family is declared twice;
+//   - no sample line (name + label set) repeats;
+//   - each histogram child carries monotone non-decreasing cumulative
+//     buckets ordered by ascending le, an le="+Inf" bucket equal to its
+//     _count, and a _sum sample;
+//   - metric names are legal.
+//
+// It returns every violation found, nil when the document is clean.
+func LintExposition(doc []byte) []error {
+	l := &linter{
+		declaredHelp: map[string]bool{},
+		declaredType: map[string]string{},
+		seenSamples:  map[string]bool{},
+		histograms:   map[string]map[string]*histChild{},
+	}
+	sc := bufio.NewScanner(bytes.NewReader(doc))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		l.line(line, strings.TrimRight(sc.Text(), "\r"))
+	}
+	if err := sc.Err(); err != nil {
+		l.errs = append(l.errs, fmt.Errorf("read: %w", err))
+	}
+	l.finishHistograms()
+	return l.errs
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// histChild is one histogram time series (one label set of a family, or
+// the sole series of an unlabeled histogram).
+type histChild struct {
+	les    []float64
+	counts []float64
+	sum    *float64
+	count  *float64
+}
+
+type linter struct {
+	errs         []error
+	declaredHelp map[string]bool
+	declaredType map[string]string
+	seenSamples  map[string]bool
+	// histograms[family][child-labels] accumulates bucket/sum/count lines;
+	// child-labels is the label set with le stripped.
+	histograms map[string]map[string]*histChild
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) line(n int, s string) {
+	if s == "" {
+		return
+	}
+	if strings.HasPrefix(s, "# HELP ") {
+		fields := strings.SplitN(strings.TrimPrefix(s, "# HELP "), " ", 2)
+		name := fields[0]
+		if l.declaredHelp[name] {
+			l.errf(n, "duplicate HELP for family %s", name)
+		}
+		l.declaredHelp[name] = true
+		return
+	}
+	if strings.HasPrefix(s, "# TYPE ") {
+		fields := strings.Fields(strings.TrimPrefix(s, "# TYPE "))
+		if len(fields) != 2 {
+			l.errf(n, "malformed TYPE line %q", s)
+			return
+		}
+		name, typ := fields[0], fields[1]
+		if _, dup := l.declaredType[name]; dup {
+			l.errf(n, "duplicate TYPE for family %s", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(n, "family %s has unknown type %q", name, typ)
+		}
+		l.declaredType[name] = typ
+		if typ == "histogram" {
+			l.histograms[name] = map[string]*histChild{}
+		}
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		return // free-form comment
+	}
+	l.sample(n, s)
+}
+
+// familyOf maps a sample name to its declared family, resolving histogram
+// and summary sample suffixes.
+func (l *linter) familyOf(name string) (string, bool) {
+	if _, ok := l.declaredType[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if t, ok := l.declaredType[base]; ok && (t == "histogram" || t == "summary") {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+var leRe = regexp.MustCompile(`,?le="([^"]*)"`)
+
+func (l *linter) sample(n int, s string) {
+	// <name>[{labels}] <value> [timestamp]
+	nameEnd := strings.IndexAny(s, "{ ")
+	if nameEnd < 0 {
+		l.errf(n, "malformed sample line %q", s)
+		return
+	}
+	name := s[:nameEnd]
+	if !metricNameRe.MatchString(name) {
+		l.errf(n, "illegal metric name %q", name)
+		return
+	}
+	rest := s[nameEnd:]
+	labels := ""
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			l.errf(n, "unterminated label set in %q", s)
+			return
+		}
+		labels = rest[:end+1]
+		rest = rest[end+1:]
+	}
+	valStr := strings.Fields(rest)
+	if len(valStr) < 1 || len(valStr) > 2 {
+		l.errf(n, "sample %s has %d value fields, want 1 (or 2 with timestamp)", name, len(valStr))
+		return
+	}
+	val, err := strconv.ParseFloat(valStr[0], 64)
+	if err != nil {
+		l.errf(n, "sample %s has unparseable value %q", name, valStr[0])
+		return
+	}
+
+	family, ok := l.familyOf(name)
+	if !ok {
+		l.errf(n, "sample %s has no preceding TYPE declaration", name)
+		return
+	}
+	if !l.declaredHelp[family] {
+		l.errf(n, "sample %s of family %s has no preceding HELP", name, family)
+	}
+
+	key := name + labels
+	if l.seenSamples[key] {
+		l.errf(n, "duplicate sample %s", key)
+	}
+	l.seenSamples[key] = true
+
+	if children := l.histograms[family]; children != nil {
+		l.histogramSample(n, children, family, name, labels, val)
+	}
+}
+
+func (l *linter) histogramSample(n int, children map[string]*histChild, family, name, labels string, val float64) {
+	childKey := labels
+	var le float64
+	isBucket := name == family+"_bucket"
+	if isBucket {
+		m := leRe.FindStringSubmatch(labels)
+		if m == nil {
+			l.errf(n, "histogram bucket %s%s lacks an le label", name, labels)
+			return
+		}
+		if m[1] == "+Inf" {
+			le = math.Inf(1)
+		} else {
+			var err error
+			le, err = strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				l.errf(n, "histogram bucket le=%q is not a number", m[1])
+				return
+			}
+		}
+		childKey = leRe.ReplaceAllString(labels, "")
+		if childKey == "{}" {
+			childKey = ""
+		}
+	}
+	ch := children[childKey]
+	if ch == nil {
+		ch = &histChild{}
+		children[childKey] = ch
+	}
+	switch name {
+	case family + "_bucket":
+		ch.les = append(ch.les, le)
+		ch.counts = append(ch.counts, val)
+	case family + "_sum":
+		ch.sum = &val
+	case family + "_count":
+		ch.count = &val
+	}
+}
+
+// finishHistograms checks the cross-line invariants of every histogram
+// child once the document is fully read.
+func (l *linter) finishHistograms() {
+	families := make([]string, 0, len(l.histograms))
+	for f := range l.histograms {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, family := range families {
+		children := l.histograms[family]
+		keys := make([]string, 0, len(children))
+		for k := range children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			l.finishChild(family, key, children[key])
+		}
+	}
+}
+
+func (l *linter) finishChild(family, key string, ch *histChild) {
+	id := family
+	if key != "" {
+		id += key
+	}
+	if len(ch.les) == 0 && ch.sum == nil && ch.count == nil {
+		return // declared but unpopulated family: allowed
+	}
+	for i := 1; i < len(ch.les); i++ {
+		if ch.les[i] <= ch.les[i-1] {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: bucket le=%g does not ascend past le=%g", id, ch.les[i], ch.les[i-1]))
+		}
+		if ch.counts[i] < ch.counts[i-1] {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: bucket le=%g count %g < preceding count %g (non-monotone)", id, ch.les[i], ch.counts[i], ch.counts[i-1]))
+		}
+	}
+	if len(ch.les) == 0 || !math.IsInf(ch.les[len(ch.les)-1], 1) {
+		l.errs = append(l.errs, fmt.Errorf("histogram %s: buckets do not end at le=\"+Inf\"", id))
+		return
+	}
+	if ch.count == nil {
+		l.errs = append(l.errs, fmt.Errorf("histogram %s: missing _count sample", id))
+	} else if inf := ch.counts[len(ch.counts)-1]; inf != *ch.count {
+		l.errs = append(l.errs, fmt.Errorf("histogram %s: le=\"+Inf\" bucket %g != _count %g", id, inf, *ch.count))
+	}
+	if ch.sum == nil {
+		l.errs = append(l.errs, fmt.Errorf("histogram %s: missing _sum sample", id))
+	}
+}

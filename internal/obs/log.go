@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity. The zero value is LevelInfo, so a zero-config
+// logger behaves like the log package it replaces.
+type Level int8
+
+const (
+	LevelDebug Level = -1
+	LevelInfo  Level = 0
+	LevelWarn  Level = 1
+	LevelError Level = 2
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch {
+	case l <= LevelDebug:
+		return "debug"
+	case l == LevelInfo:
+		return "info"
+	case l == LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel parses a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger is a leveled, optionally JSON-formatted structured logger. Every
+// line carries a timestamp, level and message; key/value pairs and the
+// calling request's trace ID ride along. A nil *Logger is silent: every
+// method no-ops, so components hold one unconditionally.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	emit  func(line string) // alternative sink (already formatted, no \n)
+	level Level
+	json  bool
+}
+
+// NewLogger builds a logger writing one line per record to w. format is
+// "json" or "text" (anything else means text).
+func NewLogger(w io.Writer, level Level, format string) *Logger {
+	return &Logger{w: w, level: level, json: format == "json"}
+}
+
+// NewLoggerFunc builds a logger delivering formatted lines (without the
+// trailing newline) to fn — the bridge onto legacy Logf sinks.
+func NewLoggerFunc(fn func(line string), level Level, format string) *Logger {
+	return &Logger{emit: fn, level: level, json: format == "json"}
+}
+
+// Enabled reports whether records at the given level are emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Log emits one record. keyvals alternate key, value; a trailing unpaired
+// key gets the value "(MISSING)". The context's trace ID, if any, is
+// stamped on the record.
+func (l *Logger) Log(ctx context.Context, level Level, msg string, keyvals ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	traceID := ""
+	if ctx != nil {
+		if t := TraceFrom(ctx); t != nil {
+			traceID = t.ID
+		}
+	}
+	l.write(level, traceID, msg, keyvals)
+}
+
+// Debug, Info, Warn and Error are Log shorthands.
+func (l *Logger) Debug(ctx context.Context, msg string, keyvals ...any) {
+	l.Log(ctx, LevelDebug, msg, keyvals...)
+}
+func (l *Logger) Info(ctx context.Context, msg string, keyvals ...any) {
+	l.Log(ctx, LevelInfo, msg, keyvals...)
+}
+func (l *Logger) Warn(ctx context.Context, msg string, keyvals ...any) {
+	l.Log(ctx, LevelWarn, msg, keyvals...)
+}
+func (l *Logger) Error(ctx context.Context, msg string, keyvals ...any) {
+	l.Log(ctx, LevelError, msg, keyvals...)
+}
+
+// Logf is the printf-compatibility shim for components that predate
+// structured logging; it emits at info level with no trace.
+func (l *Logger) Logf(format string, args ...any) {
+	if !l.Enabled(LevelInfo) {
+		return
+	}
+	l.write(LevelInfo, "", fmt.Sprintf(format, args...), nil)
+}
+
+func (l *Logger) write(level Level, traceID, msg string, keyvals []any) {
+	ts := time.Now().UTC()
+	var line string
+	if l.json {
+		rec := make(map[string]any, 4+len(keyvals)/2)
+		rec["ts"] = ts.Format(time.RFC3339Nano)
+		rec["level"] = level.String()
+		rec["msg"] = msg
+		if traceID != "" {
+			rec["traceId"] = traceID
+		}
+		for i := 0; i < len(keyvals); i += 2 {
+			k, ok := keyvals[i].(string)
+			if !ok {
+				k = fmt.Sprint(keyvals[i])
+			}
+			if i+1 < len(keyvals) {
+				rec[k] = jsonValue(keyvals[i+1])
+			} else {
+				rec[k] = "(MISSING)"
+			}
+		}
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			raw, _ = json.Marshal(map[string]string{
+				"ts": ts.Format(time.RFC3339Nano), "level": "error",
+				"msg": "log record not marshalable: " + err.Error(),
+			})
+		}
+		line = string(raw)
+	} else {
+		var b strings.Builder
+		b.WriteString(ts.Format("2006-01-02T15:04:05.000Z"))
+		b.WriteByte(' ')
+		b.WriteString(strings.ToUpper(level.String()))
+		b.WriteByte(' ')
+		b.WriteString(msg)
+		for i := 0; i < len(keyvals); i += 2 {
+			b.WriteByte(' ')
+			fmt.Fprint(&b, keyvals[i])
+			b.WriteByte('=')
+			if i+1 < len(keyvals) {
+				writeTextValue(&b, keyvals[i+1])
+			} else {
+				b.WriteString("(MISSING)")
+			}
+		}
+		if traceID != "" {
+			b.WriteString(" traceId=")
+			b.WriteString(traceID)
+		}
+		line = b.String()
+	}
+	if l.emit != nil {
+		l.emit(line)
+		return
+	}
+	l.mu.Lock()
+	fmt.Fprintln(l.w, line)
+	l.mu.Unlock()
+}
+
+// jsonValue coerces non-marshalable values (errors, Stringers) to strings.
+func jsonValue(v any) any {
+	switch x := v.(type) {
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	case fmt.Stringer:
+		return x.String()
+	}
+	return v
+}
+
+// writeTextValue renders one text-format value, quoting strings with spaces.
+func writeTextValue(b *strings.Builder, v any) {
+	s := fmt.Sprint(jsonValue(v))
+	if strings.ContainsAny(s, " \t\n\"=") {
+		fmt.Fprintf(b, "%q", s)
+		return
+	}
+	b.WriteString(s)
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"corrfuse/internal/index"
+	"corrfuse/internal/obs"
 	"corrfuse/internal/store"
 	"corrfuse/internal/triple"
 )
@@ -67,14 +68,15 @@ type ScoreResult struct {
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/observe", s.count(&s.m.observe, s.handleObserve))
-	s.mux.HandleFunc("GET /v1/triple", s.count(&s.m.tripleQ, s.handleTriple))
-	s.mux.HandleFunc("GET /v1/subject/{subject}", s.count(&s.m.subjectQ, s.handleSubject))
-	s.mux.HandleFunc("GET /v1/source/{source}", s.count(&s.m.sourceQ, s.handleSource))
-	s.mux.HandleFunc("POST /v1/score", s.count(&s.m.score, s.handleScore))
-	s.mux.HandleFunc("POST /v1/refuse", s.count(&s.m.refuse, s.handleRefuse))
-	s.mux.HandleFunc("GET /healthz", s.count(&s.m.health, s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.count(&s.m.metricsReqs, s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/observe", s.route("observe", s.handleObserve))
+	s.mux.HandleFunc("GET /v1/triple", s.route("triple", s.handleTriple))
+	s.mux.HandleFunc("GET /v1/subject/{subject}", s.route("subject", s.handleSubject))
+	s.mux.HandleFunc("GET /v1/source/{source}", s.route("source", s.handleSource))
+	s.mux.HandleFunc("POST /v1/score", s.route("score", s.handleScore))
+	s.mux.HandleFunc("POST /v1/refuse", s.route("refuse", s.handleRefuse))
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/traces", s.route("traces", s.traces.Handler().ServeHTTP))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -85,10 +87,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// httpError writes a structured JSON error. 4xx accounting happens in the
+// instrumentation middleware off the recorded response status — covering the
+// mux's own 404/405 responses too, which per-handler counting used to miss.
 func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	if code >= 400 && code < 500 {
-		s.m.badRequests.Add(1)
-	}
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
@@ -96,7 +98,6 @@ func (s *Server) httpError(w http.ResponseWriter, code int, format string, args 
 // error naming the limit that was exceeded (limitField is "maxTriples" or
 // "maxBytes").
 func (s *Server) payloadTooLarge(w http.ResponseWriter, limitField string, limit int64, format string, args ...any) {
-	s.m.badRequests.Add(1)
 	writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
 		"error":    fmt.Sprintf(format, args...),
 		limitField: limit,
@@ -110,6 +111,7 @@ func (s *Server) payloadTooLarge(w http.ResponseWriter, limitField string, limit
 // dropped, acknowledging a request the client half-sent. It reports
 // whether decoding succeeded.
 func (s *Server) decodeCapped(w http.ResponseWriter, r *http.Request, v any) bool {
+	defer s.span(r.Context(), "decode")()
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
@@ -192,12 +194,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]ObserveResult, 0, len(obs))
 	var maxSeq uint64
+	endIngest := s.span(r.Context(), "ingest")
 	for _, o := range obs {
 		res, seq, err := s.ingest(o)
 		if err != nil {
 			// The WAL refused the append (closed or poisoned): nothing in
 			// this response was acknowledged; claims already applied stay
 			// in memory unacknowledged (at-least-once).
+			endIngest()
 			s.httpError(w, http.StatusServiceUnavailable, "durability unavailable: %v", err)
 			return
 		}
@@ -206,8 +210,12 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		}
 		results = append(results, res)
 	}
+	endIngest()
 	if s.wal != nil {
-		if err := s.wal.Commit(maxSeq); err != nil {
+		endCommit := s.span(r.Context(), "wal_commit")
+		err := s.wal.Commit(maxSeq)
+		endCommit()
+		if err != nil {
 			s.httpError(w, http.StatusServiceUnavailable, "durability unavailable: %v", err)
 			return
 		}
@@ -289,15 +297,21 @@ func (s *Server) writeIndexed(w http.ResponseWriter, sn *snapshot, entries []*in
 // ingested after the snapshot's capture appear at the next rebuild (query
 // /v1/triple or /v1/score for live-overlay freshness).
 func (s *Server) handleSubject(w http.ResponseWriter, r *http.Request) {
+	end := s.span(r.Context(), "index_lookup")
 	sn := s.snap.Load()
-	s.writeIndexed(w, sn, sn.idx.Subject(r.PathValue("subject")))
+	entries := sn.idx.Subject(r.PathValue("subject"))
+	end()
+	s.writeIndexed(w, sn, entries)
 }
 
 // handleSource serves the snapshot's fused results a source contributed to,
 // pre-ranked like handleSubject and equally snapshot-consistent.
 func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	end := s.span(r.Context(), "index_lookup")
 	sn := s.snap.Load()
-	s.writeIndexed(w, sn, sn.idx.Source(r.PathValue("source")))
+	entries := sn.idx.Source(r.PathValue("source"))
+	end()
+	s.writeIndexed(w, sn, entries)
 }
 
 // handleScore scores a batch of up to Config.MaxScoreTriples triples in one
@@ -319,6 +333,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			"request has %d triples, limit is %d", len(req.Triples), s.maxScoreTriples)
 		return
 	}
+	endScore := s.span(r.Context(), "score")
 	sn := s.snap.Load()
 	results := make([]ScoreResult, len(req.Triples))
 	// One read lock for the live-overlay checks; snapshot-resident triples
@@ -347,6 +362,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.live.RUnlock()
+	endScore()
 	s.m.scored.Add(uint64(len(req.Triples)))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"results":         results,
@@ -414,23 +430,19 @@ func (s *Server) walStatus() map[string]any {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sn := s.snap.Load()
+	bi := obs.GetBuildInfo()
 	out := map[string]any{
 		"status":          "ok",
 		"snapshotSeq":     sn.seq,
 		"snapshotVersion": sn.version,
 		"indexVersion":    sn.idx.Version(),
 		"uptimeSeconds":   time.Since(s.started).Seconds(),
+		"version":         bi.Version,
+		"commit":          bi.Commit,
+		"goVersion":       bi.GoVersion,
 	}
 	if s.wal != nil {
 		out["wal"] = s.walStatus()
 	}
 	writeJSON(w, http.StatusOK, out)
-}
-
-// count wraps a handler with a per-endpoint request counter.
-func (s *Server) count(c *counter, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		c.Add(1)
-		h(w, r)
-	}
 }

@@ -1,28 +1,35 @@
 package serve
 
 import (
-	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"corrfuse"
+	"corrfuse/internal/obs"
+	"corrfuse/internal/wal"
 )
 
 type counter = atomic.Uint64
 
-// metrics are the service's operational counters, exposed at /metrics in
-// Prometheus text exposition format.
+// metrics are the service's operational counters. The exposition-facing
+// counters are registry-backed (declared once, emitted by Registry.WriteTo);
+// the rest are internal state some registered closure reads at scrape time.
 type metrics struct {
-	observe, tripleQ, subjectQ, sourceQ counter
-	score, refuse, health, metricsReqs  counter
-	badRequests                         counter
+	// badRequests counts responses with a 4xx status. It is driven by the
+	// instrumentation middleware's status recorder, so it covers every 4xx
+	// the service emits — including the mux's own 404/405 responses, which
+	// the old per-handler accounting silently missed.
+	badRequests *obs.Counter
 
-	observations counter // claims ingested
-	scored       counter // triples scored via /v1/score
-	rebuilds     counter
-	rebuildSkips counter
+	observations *obs.Counter // claims ingested
+	scored       *obs.Counter // triples scored via /v1/score
+	rebuilds     *obs.Counter
+	rebuildSkips *obs.Counter
 	// partialRebuilds counts rebuilds routed through the dirty-shard
 	// partial path (a subset of rebuilds).
-	partialRebuilds counter
+	partialRebuilds *obs.Counter
 
 	// onlineDisabled is a gauge: 1 while the live snapshot serves without
 	// an incremental scorer (unsupervised method, or a scorer that failed
@@ -34,184 +41,218 @@ type metrics struct {
 	// the latest failure message ("" after a successful save) for
 	// /v1/refuse, so operators can alert on a service that can no longer
 	// persist instead of finding out from a log line.
-	persistFailures counter
+	persistFailures *obs.Counter
 	lastPersistErr  atomic.Value
 
 	lastRebuildNanos atomic.Int64
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
-	storeVersion := s.store.Version()
-	s.live.RLock()
-	liveTriples := 0
-	if s.live.inc != nil {
-		liveTriples = s.live.inc.Len()
-	}
-	unknownSources := len(s.live.unknown)
-	journalLen := len(s.live.journal)
-	s.live.RUnlock()
+// endpoints are the routed endpoint names; their request counters and
+// latency histograms are pre-created so every endpoint appears in /metrics
+// from the first scrape, hit or not (dashboards and alerts can rely on the
+// series existing).
+var endpoints = []string{
+	"observe", "triple", "subject", "source", "score", "refuse",
+	"healthz", "metrics", "traces",
+}
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-
-	p("# HELP corrfused_requests_total Requests served, by endpoint.\n")
-	p("# TYPE corrfused_requests_total counter\n")
-	for _, e := range []struct {
-		name string
-		c    *counter
-	}{
-		{"observe", &s.m.observe}, {"triple", &s.m.tripleQ},
-		{"subject", &s.m.subjectQ}, {"source", &s.m.sourceQ},
-		{"score", &s.m.score}, {"refuse", &s.m.refuse},
-		{"healthz", &s.m.health}, {"metrics", &s.m.metricsReqs},
-	} {
-		p("corrfused_requests_total{endpoint=%q} %d\n", e.name, e.c.Load())
-	}
-	p("# HELP corrfused_bad_requests_total Requests rejected with a 4xx status.\n")
-	p("# TYPE corrfused_bad_requests_total counter\n")
-	p("corrfused_bad_requests_total %d\n", s.m.badRequests.Load())
-	p("# HELP corrfused_observations_total Claims ingested via /v1/observe.\n")
-	p("# TYPE corrfused_observations_total counter\n")
-	p("corrfused_observations_total %d\n", s.m.observations.Load())
-	p("# HELP corrfused_scored_triples_total Triples scored via /v1/score.\n")
-	p("# TYPE corrfused_scored_triples_total counter\n")
-	p("corrfused_scored_triples_total %d\n", s.m.scored.Load())
-
-	p("# HELP corrfused_snapshot_seq Sequence number of the live batch snapshot.\n")
-	p("# TYPE corrfused_snapshot_seq gauge\n")
-	p("corrfused_snapshot_seq %d\n", sn.seq)
-	p("# HELP corrfused_snapshot_age_seconds Age of the live batch snapshot.\n")
-	p("# TYPE corrfused_snapshot_age_seconds gauge\n")
-	p("corrfused_snapshot_age_seconds %.3f\n", time.Since(sn.builtAt).Seconds())
-	p("# HELP corrfused_snapshot_triples Triples scored by the live snapshot.\n")
-	p("# TYPE corrfused_snapshot_triples gauge\n")
-	p("corrfused_snapshot_triples %d\n", sn.triples)
-	p("# HELP corrfused_snapshot_accepted Triples the live snapshot accepts as true.\n")
-	p("# TYPE corrfused_snapshot_accepted gauge\n")
-	p("corrfused_snapshot_accepted %d\n", sn.accepted)
-
-	p("# HELP corrfused_index_version Store data version the live read index was built at (always equals corrfused_snapshot_version).\n")
-	p("# TYPE corrfused_index_version gauge\n")
-	p("corrfused_index_version %d\n", sn.idx.Version())
-	p("# HELP corrfused_snapshot_version Store data version the live snapshot was captured at.\n")
-	p("# TYPE corrfused_snapshot_version gauge\n")
-	p("corrfused_snapshot_version %d\n", sn.version)
-	p("# HELP corrfused_index_triples Fused results frozen in the live read index.\n")
-	p("# TYPE corrfused_index_triples gauge\n")
-	p("corrfused_index_triples %d\n", sn.idx.Len())
-	p("# HELP corrfused_index_subjects Distinct subjects with results in the live read index.\n")
-	p("# TYPE corrfused_index_subjects gauge\n")
-	p("corrfused_index_subjects %d\n", sn.idx.Subjects())
-	p("# HELP corrfused_index_sources Distinct sources contributing to the live read index.\n")
-	p("# TYPE corrfused_index_sources gauge\n")
-	p("corrfused_index_sources %d\n", sn.idx.Sources())
-	p("# HELP corrfused_index_build_seconds Wall time of the live read index build.\n")
-	p("# TYPE corrfused_index_build_seconds gauge\n")
-	p("corrfused_index_build_seconds %.6f\n", sn.idx.BuildTime().Seconds())
-
-	p("# HELP corrfused_store_triples Distinct triples in the store.\n")
-	p("# TYPE corrfused_store_triples gauge\n")
-	p("corrfused_store_triples %d\n", s.store.Len())
-	p("# HELP corrfused_store_version Store data version (mutations that feed the model).\n")
-	p("# TYPE corrfused_store_version gauge\n")
-	p("corrfused_store_version %d\n", storeVersion)
-	p("# HELP corrfused_ingest_lag Data mutations not yet reflected in the batch snapshot.\n")
-	p("# TYPE corrfused_ingest_lag gauge\n")
-	p("corrfused_ingest_lag %d\n", storeVersion-sn.version)
-
-	p("# HELP corrfused_live_triples Triples tracked by the incremental scorer.\n")
-	p("# TYPE corrfused_live_triples gauge\n")
-	p("corrfused_live_triples %d\n", liveTriples)
-	p("# HELP corrfused_journal_entries Claims journaled since the last snapshot capture.\n")
-	p("# TYPE corrfused_journal_entries gauge\n")
-	p("corrfused_journal_entries %d\n", journalLen)
-	p("# HELP corrfused_unknown_sources Sources seen in ingests but absent from the quality model.\n")
-	p("# TYPE corrfused_unknown_sources gauge\n")
-	p("corrfused_unknown_sources %d\n", unknownSources)
-
-	p("# HELP corrfused_rebuilds_total Batch re-fusions performed.\n")
-	p("# TYPE corrfused_rebuilds_total counter\n")
-	p("corrfused_rebuilds_total %d\n", s.m.rebuilds.Load())
-	p("# HELP corrfused_rebuild_skips_total Re-fusions skipped because the store was unchanged.\n")
-	p("# TYPE corrfused_rebuild_skips_total counter\n")
-	p("corrfused_rebuild_skips_total %d\n", s.m.rebuildSkips.Load())
-	p("# HELP corrfused_partial_rebuilds_total Re-fusions that retrained only the dirty shards.\n")
-	p("# TYPE corrfused_partial_rebuilds_total counter\n")
-	p("corrfused_partial_rebuilds_total %d\n", s.m.partialRebuilds.Load())
-	p("# HELP corrfused_online_disabled 1 while the service runs batch-only (no incremental scorer), 0 when live scoring is up.\n")
-	p("# TYPE corrfused_online_disabled gauge\n")
-	p("corrfused_online_disabled %d\n", s.m.onlineDisabled.Load())
-	p("# HELP corrfused_last_rebuild_seconds Duration of the last batch re-fusion.\n")
-	p("# TYPE corrfused_last_rebuild_seconds gauge\n")
-	p("corrfused_last_rebuild_seconds %.3f\n", time.Duration(s.m.lastRebuildNanos.Load()).Seconds())
-	p("# HELP corrfused_persist_failures_total Store saves that failed.\n")
-	p("# TYPE corrfused_persist_failures_total counter\n")
-	p("corrfused_persist_failures_total %d\n", s.m.persistFailures.Load())
-
-	if s.wal != nil {
-		st := s.wal.Stats()
-		p("# HELP corrfused_wal_seq Last assigned WAL sequence number.\n")
-		p("# TYPE corrfused_wal_seq gauge\n")
-		p("corrfused_wal_seq %d\n", st.Seq)
-		p("# HELP corrfused_wal_durable_seq Highest WAL sequence number covered by an fsync.\n")
-		p("# TYPE corrfused_wal_durable_seq gauge\n")
-		p("corrfused_wal_durable_seq %d\n", st.DurableSeq)
-		p("# HELP corrfused_wal_segments Live WAL segment files.\n")
-		p("# TYPE corrfused_wal_segments gauge\n")
-		p("corrfused_wal_segments %d\n", st.Segments)
-		p("# HELP corrfused_wal_bytes Total bytes across live WAL segments.\n")
-		p("# TYPE corrfused_wal_bytes gauge\n")
-		p("corrfused_wal_bytes %d\n", st.Bytes)
-		p("# HELP corrfused_wal_fsyncs_total WAL fsync calls (group commits, interval ticks, rotations).\n")
-		p("# TYPE corrfused_wal_fsyncs_total counter\n")
-		p("corrfused_wal_fsyncs_total %d\n", st.Fsyncs)
-		p("# HELP corrfused_wal_group_commit_size Records the most recent group-commit fsync made durable at once.\n")
-		p("# TYPE corrfused_wal_group_commit_size gauge\n")
-		p("corrfused_wal_group_commit_size %d\n", st.LastGroupCommit)
-		p("# HELP corrfused_wal_recovered_records Acknowledged observations replayed from the WAL at startup.\n")
-		p("# TYPE corrfused_wal_recovered_records gauge\n")
-		p("corrfused_wal_recovered_records %d\n", s.walRecovered)
+// initObs builds the metric registry, trace recorder and logger. It runs
+// before the WAL opens (the commit-wait histogram feeds the WAL's hook) and
+// before the initial rebuild (whose stages are already timed), so every
+// instrument exists for the server's whole life.
+//
+// Families are registered in presentation order; HELP/TYPE headers are
+// emitted by Registry.WriteTo, declared exactly once here.
+func (s *Server) initObs() {
+	s.obsOn = !s.cfg.DisableInstrumentation
+	s.slowThreshold = s.cfg.SlowRequestThreshold
+	s.traces = obs.NewTraceRecorder(s.cfg.TraceBufferSize, s.cfg.TraceThreshold)
+	s.logger = s.cfg.Logger
+	if s.logger == nil && s.cfg.Logf != nil {
+		// Bridge structured records (slow-request logs) onto the legacy
+		// printf sink so they are not lost on Logf-only deployments.
+		logf := s.cfg.Logf
+		s.logger = obs.NewLoggerFunc(func(line string) { logf("%s", line) }, obs.LevelInfo, "text")
 	}
 
-	shards := 1
-	if len(sn.shardStats) > 0 {
-		shards = len(sn.shardStats)
+	r := obs.NewRegistry()
+	s.reg = r
+
+	obs.RegisterBuildInfo(r, "corrfused_build_info")
+
+	s.reqCounts = r.CounterVec("corrfused_requests_total", "Requests served, by endpoint.", "endpoint")
+	s.reqHist = r.HistogramVec("corrfused_request_seconds", "Request latency by endpoint.", "endpoint", obs.DefBuckets)
+	for _, e := range endpoints {
+		s.reqCounts.With(e)
+		s.reqHist.With(e)
 	}
-	p("# HELP corrfused_shards Shards of the live batch model (1 = monolithic).\n")
-	p("# TYPE corrfused_shards gauge\n")
-	p("corrfused_shards %d\n", shards)
-	if len(sn.shardStats) > 0 {
-		rebuilt, reused := sn.rebuildCounts()
-		p("# HELP corrfused_shards_rebuilt Shards retrained for the live snapshot.\n")
-		p("# TYPE corrfused_shards_rebuilt gauge\n")
-		p("corrfused_shards_rebuilt %d\n", rebuilt)
-		p("# HELP corrfused_shards_reused Shards adopted verbatim from the previous snapshot's model.\n")
-		p("# TYPE corrfused_shards_reused gauge\n")
-		p("corrfused_shards_reused %d\n", reused)
-		p("# HELP corrfused_shard_reused Whether each shard of the live snapshot was adopted (1) or retrained (0).\n")
-		p("# TYPE corrfused_shard_reused gauge\n")
-		for _, st := range sn.shardStats {
-			v := 0
-			if st.Reused {
-				v = 1
+	s.respCodes = r.CounterVec("corrfused_responses_total", "Responses sent, by HTTP status code (includes router 404/405s).", "code")
+	s.m.badRequests = r.Counter("corrfused_bad_requests_total", "Requests rejected with a 4xx status.")
+	s.stageHist = r.HistogramVec("corrfused_request_stage_seconds", "Request-stage latency (decode, ingest, wal_commit, index_lookup, score).", "stage", obs.FineBuckets)
+
+	s.m.observations = r.Counter("corrfused_observations_total", "Claims ingested via /v1/observe.")
+	s.m.scored = r.Counter("corrfused_scored_triples_total", "Triples scored via /v1/score.")
+
+	snap := func(f func(sn *snapshot) float64) func() float64 {
+		return func() float64 { return f(s.snap.Load()) }
+	}
+	r.GaugeFunc("corrfused_snapshot_seq", "Sequence number of the live batch snapshot.",
+		snap(func(sn *snapshot) float64 { return float64(sn.seq) }))
+	r.GaugeFunc("corrfused_snapshot_age_seconds", "Age of the live batch snapshot.",
+		snap(func(sn *snapshot) float64 { return time.Since(sn.builtAt).Seconds() }))
+	r.GaugeFunc("corrfused_snapshot_triples", "Triples scored by the live snapshot.",
+		snap(func(sn *snapshot) float64 { return float64(sn.triples) }))
+	r.GaugeFunc("corrfused_snapshot_accepted", "Triples the live snapshot accepts as true.",
+		snap(func(sn *snapshot) float64 { return float64(sn.accepted) }))
+
+	r.GaugeFunc("corrfused_index_version", "Store data version the live read index was built at (always equals corrfused_snapshot_version).",
+		snap(func(sn *snapshot) float64 { return float64(sn.idx.Version()) }))
+	r.GaugeFunc("corrfused_snapshot_version", "Store data version the live snapshot was captured at.",
+		snap(func(sn *snapshot) float64 { return float64(sn.version) }))
+	r.GaugeFunc("corrfused_index_triples", "Fused results frozen in the live read index.",
+		snap(func(sn *snapshot) float64 { return float64(sn.idx.Len()) }))
+	r.GaugeFunc("corrfused_index_subjects", "Distinct subjects with results in the live read index.",
+		snap(func(sn *snapshot) float64 { return float64(sn.idx.Subjects()) }))
+	r.GaugeFunc("corrfused_index_sources", "Distinct sources contributing to the live read index.",
+		snap(func(sn *snapshot) float64 { return float64(sn.idx.Sources()) }))
+	r.GaugeFunc("corrfused_index_build_seconds", "Wall time of the live read index build.",
+		snap(func(sn *snapshot) float64 { return sn.idx.BuildTime().Seconds() }))
+
+	r.GaugeFunc("corrfused_store_triples", "Distinct triples in the store.",
+		func() float64 { return float64(s.store.Len()) })
+	r.GaugeFunc("corrfused_store_version", "Store data version (mutations that feed the model).",
+		func() float64 { return float64(s.store.Version()) })
+	r.GaugeFunc("corrfused_ingest_lag", "Data mutations not yet reflected in the batch snapshot.",
+		func() float64 {
+			// Load the snapshot before the store version: a concurrent swap
+			// then overstates the lag for one scrape, never understates it
+			// (the gauge must not go negative, it is emitted unsigned).
+			sn := s.snap.Load()
+			return float64(s.store.Version() - sn.version)
+		})
+
+	r.GaugeFunc("corrfused_live_triples", "Triples tracked by the incremental scorer.",
+		func() float64 {
+			s.live.RLock()
+			defer s.live.RUnlock()
+			if s.live.inc == nil {
+				return 0
 			}
-			p("corrfused_shard_reused{shard=\"%d\"} %d\n", st.Shard, v)
-		}
-		p("# HELP corrfused_shard_rebuild_seconds Wall time of each shard's model build in the live snapshot.\n")
-		p("# TYPE corrfused_shard_rebuild_seconds gauge\n")
-		for _, st := range sn.shardStats {
-			p("corrfused_shard_rebuild_seconds{shard=\"%d\"} %.6f\n", st.Shard, st.Build.Seconds())
-		}
-		p("# HELP corrfused_shard_triples Distinct triples routed to each shard of the live snapshot.\n")
-		p("# TYPE corrfused_shard_triples gauge\n")
-		for _, st := range sn.shardStats {
-			p("corrfused_shard_triples{shard=\"%d\"} %d\n", st.Shard, st.Triples)
-		}
-		p("# HELP corrfused_shard_labeled Labeled triples in each shard's training slice.\n")
-		p("# TYPE corrfused_shard_labeled gauge\n")
-		for _, st := range sn.shardStats {
-			p("corrfused_shard_labeled{shard=\"%d\"} %d\n", st.Shard, st.Labeled)
+			return float64(s.live.inc.Len())
+		})
+	r.GaugeFunc("corrfused_journal_entries", "Claims journaled since the last snapshot capture.",
+		func() float64 {
+			s.live.RLock()
+			defer s.live.RUnlock()
+			return float64(len(s.live.journal))
+		})
+	r.GaugeFunc("corrfused_unknown_sources", "Sources seen in ingests but absent from the quality model.",
+		func() float64 {
+			s.live.RLock()
+			defer s.live.RUnlock()
+			return float64(len(s.live.unknown))
+		})
+
+	s.m.rebuilds = r.Counter("corrfused_rebuilds_total", "Batch re-fusions performed.")
+	s.m.rebuildSkips = r.Counter("corrfused_rebuild_skips_total", "Re-fusions skipped because the store was unchanged.")
+	s.m.partialRebuilds = r.Counter("corrfused_partial_rebuilds_total", "Re-fusions that retrained only the dirty shards.")
+	r.GaugeFunc("corrfused_online_disabled", "1 while the service runs batch-only (no incremental scorer), 0 when live scoring is up.",
+		func() float64 { return float64(s.m.onlineDisabled.Load()) })
+	r.GaugeFunc("corrfused_last_rebuild_seconds", "Duration of the last batch re-fusion.",
+		func() float64 { return time.Duration(s.m.lastRebuildNanos.Load()).Seconds() })
+	s.rebuildStage = r.HistogramVec("corrfused_rebuild_stage_seconds", "Re-fusion stage wall time (capture, train, freeze, writeback, index_build, online_seed, swap, shard_route, shard_build).", "stage", obs.DefBuckets)
+	s.m.persistFailures = r.Counter("corrfused_persist_failures_total", "Store saves that failed.")
+
+	s.walWait = r.Histogram("corrfused_wal_commit_wait_seconds", "Wall time Commit callers spent waiting for durability (group-commit fsync wait, or buffer flush).", obs.DefBuckets)
+	// The WAL families are suppressed — header included — when no WAL is
+	// configured: a nil []Sample from the closure drops the family for that
+	// scrape, replacing the old hand-written `if s.wal != nil` block.
+	walGauge := func(name, help string, f func(wal wal.Stats) float64) {
+		r.SampleFunc(name, help, "gauge", func() []obs.Sample {
+			if s.wal == nil {
+				return nil
+			}
+			return []obs.Sample{{Value: f(s.wal.Stats())}}
+		})
+	}
+	walGauge("corrfused_wal_seq", "Last assigned WAL sequence number.",
+		func(st wal.Stats) float64 { return float64(st.Seq) })
+	walGauge("corrfused_wal_durable_seq", "Highest WAL sequence number covered by an fsync.",
+		func(st wal.Stats) float64 { return float64(st.DurableSeq) })
+	walGauge("corrfused_wal_segments", "Live WAL segment files.",
+		func(st wal.Stats) float64 { return float64(st.Segments) })
+	walGauge("corrfused_wal_bytes", "Total bytes across live WAL segments.",
+		func(st wal.Stats) float64 { return float64(st.Bytes) })
+	r.SampleFunc("corrfused_wal_fsyncs_total", "WAL fsync calls (group commits, interval ticks, rotations).", "counter",
+		func() []obs.Sample {
+			if s.wal == nil {
+				return nil
+			}
+			return []obs.Sample{{Value: float64(s.wal.Stats().Fsyncs)}}
+		})
+	walGauge("corrfused_wal_group_commit_size", "Records the most recent group-commit fsync made durable at once.",
+		func(st wal.Stats) float64 { return float64(st.LastGroupCommit) })
+	walGauge("corrfused_wal_recovered_records", "Acknowledged observations replayed from the WAL at startup.",
+		func(st wal.Stats) float64 { return float64(s.walRecovered) })
+
+	r.GaugeFunc("corrfused_shards", "Shards of the live batch model (1 = monolithic).",
+		snap(func(sn *snapshot) float64 {
+			if len(sn.shardStats) > 0 {
+				return float64(len(sn.shardStats))
+			}
+			return 1
+		}))
+	// The per-shard families are suppressed for the monolithic engine.
+	shardSamples := func(f func(sn *snapshot) []obs.Sample) func() []obs.Sample {
+		return func() []obs.Sample {
+			sn := s.snap.Load()
+			if len(sn.shardStats) == 0 {
+				return nil
+			}
+			return f(sn)
 		}
 	}
+	r.SampleFunc("corrfused_shards_rebuilt", "Shards retrained for the live snapshot.", "gauge",
+		shardSamples(func(sn *snapshot) []obs.Sample {
+			rebuilt, _ := sn.rebuildCounts()
+			return []obs.Sample{{Value: float64(rebuilt)}}
+		}))
+	r.SampleFunc("corrfused_shards_reused", "Shards adopted verbatim from the previous snapshot's model.", "gauge",
+		shardSamples(func(sn *snapshot) []obs.Sample {
+			_, reused := sn.rebuildCounts()
+			return []obs.Sample{{Value: float64(reused)}}
+		}))
+	perShard := func(name, help string, f func(st corrfuse.ShardStat) float64) {
+		r.SampleFunc(name, help, "gauge", shardSamples(func(sn *snapshot) []obs.Sample {
+			out := make([]obs.Sample, 0, len(sn.shardStats))
+			for _, st := range sn.shardStats {
+				out = append(out, obs.Sample{
+					Labels: obs.Label("shard", strconv.Itoa(st.Shard)),
+					Value:  f(st),
+				})
+			}
+			return out
+		}))
+	}
+	perShard("corrfused_shard_reused", "Whether each shard of the live snapshot was adopted (1) or retrained (0).",
+		func(st corrfuse.ShardStat) float64 {
+			if st.Reused {
+				return 1
+			}
+			return 0
+		})
+	perShard("corrfused_shard_rebuild_seconds", "Wall time of each shard's model build in the live snapshot.",
+		func(st corrfuse.ShardStat) float64 { return st.Build.Seconds() })
+	perShard("corrfused_shard_triples", "Distinct triples routed to each shard of the live snapshot.",
+		func(st corrfuse.ShardStat) float64 { return float64(st.Triples) })
+	perShard("corrfused_shard_labeled", "Labeled triples in each shard's training slice.",
+		func(st corrfuse.ShardStat) float64 { return float64(st.Labeled) })
+
+	r.SampleFunc("corrfused_traces_recorded_total", "Finished traces offered to the trace ring buffer.", "counter",
+		func() []obs.Sample { return []obs.Sample{{Value: float64(s.traces.Total())}} })
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WriteTo(w)
 }

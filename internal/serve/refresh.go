@@ -5,6 +5,7 @@ import (
 
 	"corrfuse"
 	"corrfuse/internal/index"
+	"corrfuse/internal/obs"
 	"corrfuse/internal/store"
 	"corrfuse/internal/triple"
 	"corrfuse/internal/wal"
@@ -64,6 +65,20 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 
 	cur := s.snap.Load()
 
+	// Trace the refresh cycle like a request: each stage below records a
+	// span and feeds corrfused_rebuild_stage_seconds, and the finished
+	// trace lands in /debug/traces under the name "refresh".
+	tr := obs.NewTrace(obs.NewTraceID(), "refresh")
+	stage := func(name string) func() {
+		begin := time.Now()
+		return func() {
+			d := time.Since(begin)
+			tr.AddSpan(name, begin.Sub(tr.Start), d)
+			s.rebuildStage.With(name).Observe(d)
+		}
+	}
+
+	endCapture := stage("capture")
 	s.live.Lock()
 	version := s.store.Version()
 	if !force && cur != nil && version == cur.version {
@@ -80,8 +95,10 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	d := s.store.Dataset()
 	journalStart := len(s.live.journal)
 	s.live.Unlock()
+	endCapture()
 
 	begin := time.Now()
+	endTrain := stage("train")
 	var fuser corrfuse.Model
 	var err error
 	partial := false
@@ -97,17 +114,31 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	} else {
 		fuser, err = corrfuse.Rebuild(cur.fuser, d)
 	}
+	endTrain()
 	if err != nil {
 		return nil, false, err
 	}
+	if sh, ok := fuser.(*corrfuse.ShardedFuser); ok {
+		// The sharded engine already times its serial routing pass and its
+		// parallel per-shard build internally; surface both as refresh
+		// stages alongside the aggregate train time they are part of.
+		pt := sh.PartitionTimings()
+		tr.AddSpan("shard_route", 0, pt.Route)
+		s.rebuildStage.With("shard_route").Observe(pt.Route)
+		tr.AddSpan("shard_build", pt.Route, pt.Build)
+		s.rebuildStage.With("shard_build").Observe(pt.Build)
+	}
 	// Freeze the model: every probability and decision is computed once
 	// into the dense score tables that back all subsequent reads.
+	endFreeze := stage("freeze")
 	probs, provided, accepted := fuser.FrozenScores()
+	endFreeze()
 
 	// Write the batch results back as the authoritative fusion state.
 	// SetFusion overwrites unconditionally, so demotions stick, and it
 	// does not advance the data version, so this very rebuild does not
 	// make the next one think the data changed.
+	endWriteback := stage("writeback")
 	nTriples, nAccepted := 0, 0
 	for i, ok := range provided {
 		if !ok {
@@ -120,18 +151,22 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 			nAccepted++
 		}
 	}
+	endWriteback()
 	// Freeze the fused results into the snapshot's read index, sharing the
 	// model's score tables (no copies — the index only adds the pre-ranked
 	// listing structures). Built here, once per rebuild and before the
 	// swap, so readers always find a fully built index behind the snapshot
 	// pointer — version-stamped with the same capture the snapshot records.
+	endIndex := stage("index_build")
 	idx := index.Build(d, probs, provided, accepted, version)
+	endIndex()
 
 	// Reseed the incremental scorer from the new quality model (routed
 	// per shard for a sharded model). The unsupervised baselines carry no
 	// quality model; the service then serves batch results only and inc
 	// stays nil — the log line and the online_disabled gauge tell that
 	// state apart from a healthy supervised deployment.
+	endSeed := stage("online_seed")
 	inc, incErr := fuser.Online(s.cfg.PenalizeSilence)
 	if s.testOnlineHook != nil {
 		inc, incErr = s.testOnlineHook(inc, incErr)
@@ -146,6 +181,7 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 			s.logf("serve: online scorer seeding failed, serving batch results only: %v", err)
 		}
 	}
+	endSeed()
 
 	next := &snapshot{
 		fuser:         fuser,
@@ -166,6 +202,7 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 		next.seq = 1
 	}
 
+	endSwap := stage("swap")
 	s.live.Lock()
 	if inc != nil {
 		for _, o := range s.live.journal[journalStart:] {
@@ -194,6 +231,9 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	}
 	s.snap.Store(next)
 	s.live.Unlock()
+	endSwap()
+	tr.Finish(0)
+	s.traces.Record(tr)
 
 	if inc == nil {
 		s.m.onlineDisabled.Store(1)

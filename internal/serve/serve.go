@@ -33,6 +33,7 @@ import (
 
 	"corrfuse"
 	"corrfuse/internal/index"
+	"corrfuse/internal/obs"
 	"corrfuse/internal/store"
 	"corrfuse/internal/triple"
 	"corrfuse/internal/wal"
@@ -122,6 +123,34 @@ type Config struct {
 
 	// Logf receives operational log lines. Nil silences logging.
 	Logf func(format string, args ...any)
+
+	// Logger, when non-nil, is the structured logger: slow-request records
+	// (and, when Logf is nil, all operational lines) go through it, stamped
+	// with the request's trace ID. With a nil Logger and a non-nil Logf,
+	// structured records are bridged onto Logf as formatted text lines.
+	Logger *obs.Logger
+
+	// SlowRequestThreshold, when positive, logs a structured warning for
+	// every request that takes at least this long — the sampling knob for
+	// slow-request logging. Zero disables it.
+	SlowRequestThreshold time.Duration
+
+	// TraceBufferSize is the capacity of the /debug/traces ring buffer of
+	// recent request and refresh traces. 0 means 256.
+	TraceBufferSize int
+
+	// TraceThreshold keeps only traces at least this slow in the ring
+	// buffer. 0 (the default) retains every trace, so any request carrying
+	// an X-Corrfused-Trace-Id can be found in /debug/traces; operators
+	// raise it to keep only the slow ones.
+	TraceThreshold time.Duration
+
+	// DisableInstrumentation turns off the per-request observability path:
+	// no traces, no latency histograms, no response-status accounting and
+	// no WAL commit-wait timing. /metrics still serves (counters that
+	// pre-date the instrumentation layer keep counting). Intended for the
+	// overhead benchmarks; production deployments leave it off.
+	DisableInstrumentation bool
 }
 
 // observation is a journaled ingest: a claim applied to the live scorer
@@ -224,6 +253,20 @@ type Server struct {
 
 	m metrics
 
+	// Observability (built by initObs before the WAL opens and the initial
+	// rebuild runs, so every instrument exists for the server's whole life).
+	reg           *obs.Registry
+	obsOn         bool // per-request instrumentation enabled
+	logger        *obs.Logger
+	traces        *obs.TraceRecorder
+	slowThreshold time.Duration
+	reqCounts     *obs.CounterVec   // corrfused_requests_total{endpoint}
+	reqHist       *obs.HistogramVec // corrfused_request_seconds{endpoint}
+	stageHist     *obs.HistogramVec // corrfused_request_stage_seconds{stage}
+	respCodes     *obs.CounterVec   // corrfused_responses_total{code}
+	walWait       *obs.Histogram    // corrfused_wal_commit_wait_seconds
+	rebuildStage  *obs.HistogramVec // corrfused_rebuild_stage_seconds{stage}
+
 	// testOnlineHook, when non-nil, intercepts the online scorer derived
 	// during a rebuild. Tests use it to inject scorers whose Observe fails
 	// mid-replay; production code never sets it.
@@ -234,6 +277,7 @@ type Server struct {
 	maxBodyBytes    int64
 
 	mux     *http.ServeMux
+	handler http.Handler
 	started time.Time
 
 	startOnce sync.Once
@@ -263,6 +307,7 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		s.maxBodyBytes = DefaultMaxBodyBytes
 	}
 	s.live.unknown = make(map[string]bool)
+	s.initObs()
 	if cfg.WALDir != "" && cfg.PersistPath == "" {
 		return nil, fmt.Errorf("serve: WALDir requires PersistPath: WAL truncation rides the persist, so the log would grow and replay without bound")
 	}
@@ -272,11 +317,15 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		// dropped. Replay precedes the initial fusion below, so the first
 		// snapshot already scores the recovered claims; replaying a record
 		// the store does cover is a no-op (Put merges provenance).
-		w, recs, err := wal.Open(cfg.WALDir, wal.Options{
+		walOpts := wal.Options{
 			Sync:         cfg.WALSync,
 			SyncInterval: cfg.WALSyncInterval,
 			SegmentBytes: cfg.WALSegmentBytes,
-		})
+		}
+		if s.obsOn {
+			walOpts.OnCommitWait = s.walWait.Observe
+		}
+		w, recs, err := wal.Open(cfg.WALDir, walOpts)
 		if err != nil {
 			return nil, fmt.Errorf("serve: wal: %w", err)
 		}
@@ -307,11 +356,24 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
+	s.handler = s.instrument(s.mux)
 	return s, nil
 }
 
-// Handler returns the HTTP handler serving the v1 API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the v1 API, wrapped in the
+// instrumentation middleware (tracing, latency histograms, response-status
+// accounting) unless Config.DisableInstrumentation is set.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// TracesHandler returns the /debug/traces handler (the ring buffer of recent
+// request and refresh traces as JSON). It is also routed on the main mux;
+// this accessor lets cmd/fused expose it on the separate debug listener next
+// to pprof.
+func (s *Server) TracesHandler() http.Handler { return s.traces.Handler() }
+
+// MetricsHandler returns the /metrics handler, for mounting on a separate
+// debug listener.
+func (s *Server) MetricsHandler() http.Handler { return http.HandlerFunc(s.handleMetrics) }
 
 // Start launches the background refresher (if RefreshInterval > 0). It is
 // safe to call more than once; only the first call has an effect.
@@ -362,10 +424,15 @@ func (s *Server) Snapshot() (seq, version uint64, age time.Duration) {
 	return sn.seq, sn.version, time.Since(sn.builtAt)
 }
 
+// logf emits one operational log line: through the legacy Logf sink when
+// configured, otherwise through the structured Logger (at info level). With
+// neither configured it is silent.
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
+		return
 	}
+	s.logger.Logf(format, args...)
 }
 
 // persist saves the store and, on success, truncates the WAL segments the

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"corrfuse/internal/triple"
 )
@@ -64,7 +65,21 @@ type Partition struct {
 	localID []triple.TripleID
 	// globalID[s][local] is the inverse mapping.
 	globalID [][]triple.TripleID
+
+	timings Timings
 }
+
+// Timings is the stage cost breakdown of one partition build, feeding the
+// service's corrfused_rebuild_stage_seconds metrics: Route is the serial
+// subject-hash routing pass, Build the wall time of the concurrent
+// per-shard dataset builds (for RebuildPartial, adoption checks included).
+type Timings struct {
+	Route time.Duration
+	Build time.Duration
+}
+
+// Timings returns the partition build's stage costs.
+func (p *Partition) Timings() Timings { return p.timings }
 
 // New splits d into n subject-hash shards, building the shard datasets on
 // up to workers goroutines (<= 0 means GOMAXPROCS). n < 1 is treated as 1
@@ -87,16 +102,20 @@ func New(d *triple.Dataset, n, workers int) *Partition {
 		localID:  make([]triple.TripleID, d.NumTriples()),
 		globalID: make([][]triple.TripleID, n),
 	}
+	begin := time.Now()
 	for i := 0; i < d.NumTriples(); i++ {
 		si := Of(d.Triple(triple.TripleID(i)).Subject, n)
 		p.shardOf[i] = int32(si)
 		p.globalID[si] = append(p.globalID[si], triple.TripleID(i))
 	}
+	p.timings.Route = time.Since(begin)
+	begin = time.Now()
 	// Build errors are impossible here (fn always returns nil).
 	ForEach(n, workers, func(si int) error {
 		p.buildShard(d, si)
 		return nil
 	})
+	p.timings.Build = time.Since(begin)
 	return p
 }
 
@@ -157,11 +176,14 @@ func RebuildPartial(d *triple.Dataset, prev *Partition, keep []bool, workers int
 		localID:  make([]triple.TripleID, d.NumTriples()),
 		globalID: make([][]triple.TripleID, n),
 	}
+	begin := time.Now()
 	for i := 0; i < d.NumTriples(); i++ {
 		si := Of(d.Triple(triple.TripleID(i)).Subject, n)
 		p.shardOf[i] = int32(si)
 		p.globalID[si] = append(p.globalID[si], triple.TripleID(i))
 	}
+	p.timings.Route = time.Since(begin)
+	begin = time.Now()
 	sameSources := SourceTablesEqual(d, prev.global)
 	reused := make([]bool, n)
 	ForEach(n, workers, func(si int) error {
@@ -176,6 +198,7 @@ func RebuildPartial(d *triple.Dataset, prev *Partition, keep []bool, workers int
 		p.buildShard(d, si)
 		return nil
 	})
+	p.timings.Build = time.Since(begin)
 	return p, reused, sameSources
 }
 

@@ -268,3 +268,22 @@ func TestRebuildPartialNewSourceBlocksAdoption(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPartitionTimings: both build paths record their stage costs — the
+// routing pass and the dataset builds both do real work here, so the
+// recorded durations must be positive and the zero value must be gone.
+func TestPartitionTimings(t *testing.T) {
+	d := buildDataset(2000, 5)
+	p := New(d, 4, 2)
+	tm := p.Timings()
+	if tm.Route <= 0 || tm.Build <= 0 {
+		t.Fatalf("New timings not recorded: %+v", tm)
+	}
+
+	keep := []bool{true, true, true, true}
+	p2, _, _ := RebuildPartial(d, p, keep, 2)
+	tm2 := p2.Timings()
+	if tm2.Route <= 0 || tm2.Build <= 0 {
+		t.Fatalf("RebuildPartial timings not recorded: %+v", tm2)
+	}
+}

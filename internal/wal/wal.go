@@ -84,6 +84,13 @@ type Options struct {
 	SyncInterval time.Duration
 	// SegmentBytes rotates the live segment once it grows past this size.
 	SegmentBytes int64
+	// OnCommitWait, when non-nil, receives the wall time each Commit call
+	// spent making its sequence durable — the group-commit wait under
+	// SyncAlways (queueing for a leader's fsync included), the buffer
+	// flush under the other policies. It is the observability hook for
+	// attributing ingest tail latency to fsync stalls; implementations
+	// must be cheap and non-blocking (e.g. a histogram observation).
+	OnCommitWait func(time.Duration)
 }
 
 // Stats is a point-in-time snapshot of the log's state.
@@ -447,6 +454,10 @@ func (w *WAL) Append(r Record) (uint64, error) {
 func (w *WAL) Commit(seq uint64) error {
 	if seq == 0 {
 		return nil
+	}
+	if w.opts.OnCommitWait != nil {
+		begin := time.Now()
+		defer func() { w.opts.OnCommitWait(time.Since(begin)) }()
 	}
 	if w.opts.Sync != SyncAlways {
 		// The commit itself only pushes to the OS, but a sticky fsync

@@ -462,3 +462,66 @@ func TestForeignSegmentNameRejected(t *testing.T) {
 		t.Fatal("Open accepted an unparseable empty segment name")
 	}
 }
+
+// TestOnCommitWaitHook: every Commit reports its durability wait to the
+// hook, under every sync policy, and a zero-seq Commit (empty batch) skips
+// the hook entirely.
+func TestOnCommitWaitHook(t *testing.T) {
+	for _, policy := range []string{SyncAlways, SyncInterval, SyncOff} {
+		t.Run(policy, func(t *testing.T) {
+			var calls atomic.Int64
+			var total atomic.Int64
+			w, _ := mustOpen(t, t.TempDir(), Options{
+				Sync: policy,
+				OnCommitWait: func(d time.Duration) {
+					calls.Add(1)
+					total.Add(int64(d))
+				},
+			})
+			defer w.Close()
+			for i := 0; i < 3; i++ {
+				appendCommit(t, w, rec(i))
+			}
+			if got := calls.Load(); got != 3 {
+				t.Fatalf("hook called %d times, want 3", got)
+			}
+			if total.Load() < 0 {
+				t.Fatalf("negative total wait %v", time.Duration(total.Load()))
+			}
+			if err := w.Commit(0); err != nil {
+				t.Fatal(err)
+			}
+			if got := calls.Load(); got != 3 {
+				t.Fatalf("zero-seq Commit invoked the hook (%d calls)", got)
+			}
+		})
+	}
+}
+
+// TestOnCommitWaitMeasuresFsync: with an artificially slow fsync the hook's
+// reported wait must cover the fsync latency — the signal operators use to
+// attribute ingest tail latency to storage stalls.
+func TestOnCommitWaitMeasuresFsync(t *testing.T) {
+	const stall = 20 * time.Millisecond
+	var waits []time.Duration
+	var mu sync.Mutex
+	w, _ := mustOpen(t, t.TempDir(), Options{
+		Sync: SyncAlways,
+		OnCommitWait: func(d time.Duration) {
+			mu.Lock()
+			waits = append(waits, d)
+			mu.Unlock()
+		},
+	})
+	defer w.Close()
+	w.syncFile = func(f *os.File) error {
+		time.Sleep(stall)
+		return f.Sync()
+	}
+	appendCommit(t, w, rec(0))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) != 1 || waits[0] < stall {
+		t.Fatalf("hook reported %v, want >= %v", waits, stall)
+	}
+}

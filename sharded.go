@@ -314,6 +314,12 @@ func (sf *ShardedFuser) ShardStats() []ShardStat {
 // shard's dataset). Exposed for inspection and tests.
 func (sf *ShardedFuser) ShardFuser(i int) *Fuser { return sf.fusers[i] }
 
+// PartitionTimings returns the stage costs of the partition build behind
+// this engine (serial routing pass, concurrent shard dataset builds) — the
+// partition share of a rebuild's wall time, surfaced by the service's
+// corrfused_rebuild_stage_seconds metrics.
+func (sf *ShardedFuser) PartitionTimings() shard.Timings { return sf.part.Timings() }
+
 // MethodName returns the underlying method name tagged with the shard count.
 func (sf *ShardedFuser) MethodName() string {
 	return fmt.Sprintf("%s/%d-sharded", sf.fusers[0].MethodName(), len(sf.fusers))
