@@ -25,6 +25,7 @@ import (
 	"net/http/httptest"
 	"sort"
 	"testing"
+	"time"
 
 	"corrfuse"
 	"corrfuse/internal/serve"
@@ -39,9 +40,13 @@ type queryBenchState struct {
 	// handlerNoObs serves the same data with Config.DisableInstrumentation:
 	// the per-request delta against handler is the observability overhead.
 	handlerNoObs http.Handler
-	baseline     corrfuse.Model // unfrozen: scores recompute through the algorithm
-	st           *store.Store
-	triples      []triple.Triple
+	// handlerAdmission serves the same data with the full admission chain
+	// enabled at thresholds the benchmark can never trip: the delta
+	// against handler is the per-request admission overhead.
+	handlerAdmission http.Handler
+	baseline         corrfuse.Model // unfrozen: scores recompute through the algorithm
+	st               *store.Store
+	triples          []triple.Triple
 }
 
 // hubSubject is a deliberately wide subject (hubEntries triples) added on
@@ -79,6 +84,18 @@ func queryBench(b *testing.B) *queryBenchState {
 	if err != nil {
 		b.Fatal(err)
 	}
+	srvAdmission, err := serve.New(st, serve.Config{
+		Options: opts, PenalizeSilence: true,
+		// Generous enough that no benchmark request is ever refused: the
+		// measurement is the chain's bookkeeping, not its rejections.
+		RateLimit:      1e9,
+		RateBurst:      1 << 30,
+		RequestTimeout: time.Hour,
+		MaxInFlight:    1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	// The unfrozen engine never fuses, so its Score/Probability run the
 	// correlation-aware algorithm per call — the pre-index read path. It is
@@ -89,7 +106,13 @@ func queryBench(b *testing.B) *queryBenchState {
 		b.Fatal(err)
 	}
 
-	qs := &queryBenchState{handler: srv.Handler(), handlerNoObs: srvNoObs.Handler(), baseline: baseline, st: st}
+	qs := &queryBenchState{
+		handler:          srv.Handler(),
+		handlerNoObs:     srvNoObs.Handler(),
+		handlerAdmission: srvAdmission.Handler(),
+		baseline:         baseline,
+		st:               st,
+	}
 	for _, id := range providedIDs(d2) {
 		qs.triples = append(qs.triples, d2.Triple(id))
 	}
@@ -180,6 +203,21 @@ func BenchmarkQueryBulk64IndexedNoObs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		postScore(b, qs.handlerNoObs, bodies[i%len(bodies)])
+	}
+	reportTriplesPerSec(b, 64)
+}
+
+// BenchmarkQueryBulk64IndexedAdmission re-runs the acceptance benchmark
+// with the full admission chain enabled (rate limit, shed gate, deadline)
+// at thresholds it never trips: the delta against
+// BenchmarkQueryBulk64Indexed is the admission overhead on the read path —
+// budgeted at ≤ 5%. CI records both in BENCH_admission.json.
+func BenchmarkQueryBulk64IndexedAdmission(b *testing.B) {
+	qs := queryBench(b)
+	bodies := scoreBodies(b, qs, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postScore(b, qs.handlerAdmission, bodies[i%len(bodies)])
 	}
 	reportTriplesPerSec(b, 64)
 }

@@ -16,6 +16,10 @@
 //	      [-log-format text|json] [-log-level info] [-slow-request 1s]
 //	      [-trace-buffer 256] [-trace-threshold 0]
 //	      [-debug-addr localhost:6060] [-no-instrumentation]
+//	      [-rate-limit 0] [-rate-burst 0] [-request-timeout 0]
+//	      [-max-inflight 0] [-http-read-header-timeout 10s]
+//	      [-http-read-timeout 2m] [-http-write-timeout 10m]
+//	      [-http-idle-timeout 2m]
 //
 // Endpoints (all JSON):
 //
@@ -59,6 +63,18 @@
 // off leaves flushing to the OS. Without -wal an acknowledgment only
 // promises the claim reached memory; the window since the last persist is
 // lost on a crash. See the README's "Durability" section.
+//
+// Admission control (all off by default; see the README's "Admission
+// control" section): -rate-limit gives every API key (X-Api-Key header) a
+// token bucket of -rate-burst depth and refuses over-budget /v1 requests
+// with 429 + Retry-After; -request-timeout bounds each /v1 request's
+// context, and the deadline propagates into WAL commit waits and rebuild
+// stages (-request-timeout×10 for /v1/refuse); -max-inflight caps
+// concurrently executing /v1 requests, shedding reads with 503 before
+// durable writes — earlier still while fsyncs stall or a rebuild runs.
+// Concurrent /v1/refuse requests always coalesce into one rebuild. The
+// -http-*-timeout flags set the connection-level http.Server timeouts on
+// both listeners (finite by default — the slowloris guard).
 //
 // With -shards N (N > 1) the store is partitioned by subject hash and every
 // batch re-fusion trains the N shard models concurrently on
@@ -121,6 +137,31 @@ type options struct {
 	traceThreshold time.Duration
 	debugAddr      string
 	noInstrument   bool
+
+	rateLimit      float64
+	rateBurst      int
+	requestTimeout time.Duration
+	maxInFlight    int
+
+	httpReadHeaderTimeout time.Duration
+	httpReadTimeout       time.Duration
+	httpWriteTimeout      time.Duration
+	httpIdleTimeout       time.Duration
+}
+
+// httpServer builds an http.Server with the connection-level timeouts
+// applied. Both listeners (public and debug) go through here: a server with
+// zero timeouts holds a connection open for as long as the peer cares to
+// dribble bytes — the classic slowloris hole — so the defaults are finite
+// and every knob is flag-overridable (0 disables that timeout).
+func (o options) httpServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: o.httpReadHeaderTimeout,
+		ReadTimeout:       o.httpReadTimeout,
+		WriteTimeout:      o.httpWriteTimeout,
+		IdleTimeout:       o.httpIdleTimeout,
+	}
 }
 
 func main() {
@@ -150,6 +191,14 @@ func main() {
 	flag.DurationVar(&o.traceThreshold, "trace-threshold", 0, "retain only traces at least this slow (0 retains all)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof, /debug/traces and /metrics on this separate address (empty disables; bind to localhost)")
 	flag.BoolVar(&o.noInstrument, "no-instrumentation", false, "disable per-request tracing/histograms (overhead benchmarking only)")
+	flag.Float64Var(&o.rateLimit, "rate-limit", 0, "sustained /v1 requests per second per API key (X-Api-Key header; keyless requests share one bucket; 0 disables)")
+	flag.IntVar(&o.rateBurst, "rate-burst", 0, "token-bucket burst on top of -rate-limit (0 = twice the rate)")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 0, "per-request deadline budget for /v1 endpoints, propagated into WAL commits and rebuilds; /v1/refuse gets 10x (0 disables)")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 0, "max concurrently executing /v1 requests; past it reads are shed with 503 before durable writes (0 disables)")
+	flag.DurationVar(&o.httpReadHeaderTimeout, "http-read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout on both listeners (0 disables; slowloris guard)")
+	flag.DurationVar(&o.httpReadTimeout, "http-read-timeout", 2*time.Minute, "http.Server ReadTimeout on both listeners (0 disables)")
+	flag.DurationVar(&o.httpWriteTimeout, "http-write-timeout", 10*time.Minute, "http.Server WriteTimeout on both listeners; must exceed the longest /v1/refuse rebuild (0 disables)")
+	flag.DurationVar(&o.httpIdleTimeout, "http-idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections on both listeners (0 disables)")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -197,6 +246,10 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		TraceBufferSize:        o.traceBuffer,
 		TraceThreshold:         o.traceThreshold,
 		DisableInstrumentation: o.noInstrument,
+		RateLimit:              o.rateLimit,
+		RateBurst:              o.rateBurst,
+		RequestTimeout:         o.requestTimeout,
+		MaxInFlight:            o.maxInFlight,
 	}
 	switch o.persist {
 	case "":
@@ -270,7 +323,7 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("/debug/traces", srv.TracesHandler())
 		dmux.Handle("/metrics", srv.MetricsHandler())
-		ds = &http.Server{Handler: dmux}
+		ds = o.httpServer(dmux)
 		go ds.Serve(dln)
 		logger.Info(ctx, "debug listener up", "addr", dln.Addr().String())
 	}
@@ -279,7 +332,7 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := o.httpServer(srv.Handler())
 	srv.Start()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()

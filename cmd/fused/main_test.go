@@ -368,3 +368,33 @@ func TestServeLifecycleWAL(t *testing.T) {
 		t.Error("ingested claim not persisted across clean WAL shutdown")
 	}
 }
+
+// TestHTTPServerTimeouts: both listeners are built through options.httpServer,
+// so every http.Server carries the connection-level timeouts — the zero
+// values they used to ship with left the daemon open to slowloris clients
+// holding connections forever.
+func TestHTTPServerTimeouts(t *testing.T) {
+	o := options{
+		httpReadHeaderTimeout: 10 * time.Second,
+		httpReadTimeout:       2 * time.Minute,
+		httpWriteTimeout:      10 * time.Minute,
+		httpIdleTimeout:       2 * time.Minute,
+	}
+	h := http.NewServeMux()
+	hs := o.httpServer(h)
+	if hs.Handler == nil {
+		t.Fatal("httpServer dropped the handler")
+	}
+	if hs.ReadHeaderTimeout != o.httpReadHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", hs.ReadHeaderTimeout, o.httpReadHeaderTimeout)
+	}
+	if hs.ReadTimeout != o.httpReadTimeout {
+		t.Errorf("ReadTimeout = %v, want %v", hs.ReadTimeout, o.httpReadTimeout)
+	}
+	if hs.WriteTimeout != o.httpWriteTimeout {
+		t.Errorf("WriteTimeout = %v, want %v", hs.WriteTimeout, o.httpWriteTimeout)
+	}
+	if hs.IdleTimeout != o.httpIdleTimeout {
+		t.Errorf("IdleTimeout = %v, want %v", hs.IdleTimeout, o.httpIdleTimeout)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 
 	"corrfuse/internal/index"
 	"corrfuse/internal/obs"
+	"corrfuse/internal/serve/middleware"
 	"corrfuse/internal/store"
 	"corrfuse/internal/triple"
 )
@@ -67,38 +69,56 @@ type ScoreResult struct {
 	Accepted *bool `json:"accepted,omitempty"`
 }
 
+// routes mounts the API. The /v1 endpoints sit behind the admission-control
+// chain (rate limit → load shed → deadline; see admit): durable writes and
+// the refresh control ride the write class so they are shed last, queries
+// ride the read class and are shed first. The operational endpoints
+// (/healthz, /metrics, /debug/traces) bypass admission entirely — an
+// overloaded service must stay observable, or operators are blind exactly
+// when they need the signals.
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/observe", s.route("observe", s.handleObserve))
-	s.mux.HandleFunc("GET /v1/triple", s.route("triple", s.handleTriple))
-	s.mux.HandleFunc("GET /v1/subject/{subject}", s.route("subject", s.handleSubject))
-	s.mux.HandleFunc("GET /v1/source/{source}", s.route("source", s.handleSource))
-	s.mux.HandleFunc("POST /v1/score", s.route("score", s.handleScore))
-	s.mux.HandleFunc("POST /v1/refuse", s.route("refuse", s.handleRefuse))
-	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
-	s.mux.HandleFunc("GET /debug/traces", s.route("traces", s.traces.Handler().ServeHTTP))
+	v1 := func(endpoint string, class middleware.Class, h http.HandlerFunc) http.Handler {
+		return s.route(endpoint, s.admit(endpoint, class, h))
+	}
+	s.mux.Handle("POST /v1/observe", v1("observe", middleware.ClassWrite, s.handleObserve))
+	s.mux.Handle("GET /v1/triple", v1("triple", middleware.ClassRead, s.handleTriple))
+	s.mux.Handle("GET /v1/subject/{subject}", v1("subject", middleware.ClassRead, s.handleSubject))
+	s.mux.Handle("GET /v1/source/{source}", v1("source", middleware.ClassRead, s.handleSource))
+	s.mux.Handle("POST /v1/score", v1("score", middleware.ClassRead, s.handleScore))
+	s.mux.Handle("POST /v1/refuse", v1("refuse", middleware.ClassWrite, s.handleRefuse))
+	s.mux.Handle("GET /healthz", s.route("healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /metrics", s.route("metrics", http.HandlerFunc(s.handleMetrics)))
+	s.mux.Handle("GET /debug/traces", s.route("traces", s.traces.Handler()))
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes a JSON response body. An encode error after WriteHeader
+// cannot be turned into an error status anymore — the client saw a 2xx and
+// then a truncated body — so it is logged and counted
+// (corrfused_response_encode_failures_total) instead of silently dropped,
+// which is how it used to escape all accounting.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.m.encodeFailures.Inc()
+		s.logf("serve: response encode failed after status %d (client received a truncated body): %v", code, err)
+	}
 }
 
 // httpError writes a structured JSON error. 4xx accounting happens in the
 // instrumentation middleware off the recorded response status — covering the
 // mux's own 404/405 responses too, which per-handler counting used to miss.
 func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	s.writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // payloadTooLarge rejects an oversized request with 413 and a structured
 // error naming the limit that was exceeded (limitField is "maxTriples" or
 // "maxBytes").
 func (s *Server) payloadTooLarge(w http.ResponseWriter, limitField string, limit int64, format string, args ...any) {
-	writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+	s.writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
 		"error":    fmt.Sprintf(format, args...),
 		limitField: limit,
 	})
@@ -196,6 +216,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var maxSeq uint64
 	endIngest := s.span(r.Context(), "ingest")
 	for _, o := range obs {
+		if err := r.Context().Err(); err != nil {
+			// The request's deadline budget expired (or the client left)
+			// mid-batch: stop ingesting. Claims already applied stay in
+			// memory unacknowledged (at-least-once), same as a WAL error.
+			endIngest()
+			s.httpError(w, http.StatusServiceUnavailable, "request canceled mid-batch, nothing acknowledged: %v", err)
+			return
+		}
 		res, seq, err := s.ingest(o)
 		if err != nil {
 			// The WAL refused the append (closed or poisoned): nothing in
@@ -212,11 +240,15 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	endIngest()
 	if s.wal != nil {
+		// The commit wait honors the request's deadline budget: a caller
+		// that is gone stops occupying a group-commit slot. An abandoned
+		// wait is NOT an acknowledgment — the record becomes durable with
+		// the next fsync, but this response reports failure.
 		endCommit := s.span(r.Context(), "wal_commit")
-		err := s.wal.Commit(maxSeq)
+		err := s.wal.CommitContext(r.Context(), maxSeq)
 		endCommit()
 		if err != nil {
-			s.httpError(w, http.StatusServiceUnavailable, "durability unavailable: %v", err)
+			s.httpError(w, http.StatusServiceUnavailable, "durability not confirmed, nothing acknowledged: %v", err)
 			return
 		}
 	} else if s.closing.Load() {
@@ -236,7 +268,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		out["walSeq"] = maxSeq
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) status(sn *snapshot, e store.Entry) TripleStatus {
@@ -268,7 +300,7 @@ func (s *Server) handleTriple(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sn := s.snap.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"result":      s.status(sn, e),
 		"snapshotSeq": sn.seq,
 	})
@@ -283,7 +315,7 @@ func (s *Server) writeIndexed(w http.ResponseWriter, sn *snapshot, entries []*in
 	if entries == nil {
 		entries = []*index.Entry{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"results":         entries,
 		"snapshotSeq":     sn.seq,
 		"snapshotVersion": sn.version,
@@ -364,7 +396,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.live.RUnlock()
 	endScore()
 	s.m.scored.Add(uint64(len(req.Triples)))
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"results":         results,
 		"snapshotSeq":     sn.seq,
 		"snapshotVersion": sn.version,
@@ -373,16 +405,54 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRefuse forces a batch re-fusion and waits for it to complete.
+// Concurrent refuse requests are single-flighted: the first starts the
+// rebuild, later arrivals join it and share the same summary (their
+// responses carry "coalesced": true and identical snapshot versions), so a
+// refresh stampede costs one rebuild instead of N serialized ones. The
+// shared rebuild runs under a context canceled only when every joined
+// client has disconnected or timed out — one impatient caller cannot abort
+// work the others are waiting on, but work nobody wants stops at the next
+// rebuild checkpoint.
 func (s *Server) handleRefuse(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
-	sn, skipped, err := s.rebuild(true)
+	v, shared, err := s.refuseFlight.Do(r.Context(), func(ctx context.Context) (any, error) {
+		sn, skipped, err := s.rebuild(ctx, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.persist(); err != nil {
+			s.logf("%v", err)
+		}
+		return s.refuseSummary(sn, skipped), nil
+	})
+	if shared {
+		s.m.refuseCoalesced.Inc()
+	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.httpError(w, http.StatusServiceUnavailable, "re-fusion canceled: %v", err)
+			return
+		}
 		s.httpError(w, http.StatusInternalServerError, "re-fusion failed: %v", err)
 		return
 	}
-	if err := s.persist(); err != nil {
-		s.logf("%v", err)
+	// The summary map is shared across coalesced waiters: copy before
+	// adding the per-request fields.
+	out := make(map[string]any, len(v.(map[string]any))+2)
+	for k, val := range v.(map[string]any) {
+		out[k] = val
 	}
+	out["durationMs"] = time.Since(begin).Milliseconds()
+	if shared {
+		out["coalesced"] = true
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// refuseSummary assembles the shared /v1/refuse response body for one
+// completed rebuild (everything except the per-request durationMs and
+// coalesced fields).
+func (s *Server) refuseSummary(sn *snapshot, skipped bool) map[string]any {
 	shards := 1
 	if len(sn.shardStats) > 0 {
 		shards = len(sn.shardStats)
@@ -398,7 +468,6 @@ func (s *Server) handleRefuse(w http.ResponseWriter, r *http.Request) {
 		"accepted":        sn.accepted,
 		"method":          sn.fuser.MethodName(),
 		"shards":          shards,
-		"durationMs":      time.Since(begin).Milliseconds(),
 	}
 	if len(sn.shardStats) > 0 {
 		rebuilt, reused := sn.rebuildCounts()
@@ -412,7 +481,7 @@ func (s *Server) handleRefuse(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		out["wal"] = s.walStatus()
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
 }
 
 // walStatus summarizes the write-ahead log for /v1/refuse and /healthz:
@@ -444,5 +513,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		out["wal"] = s.walStatus()
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }

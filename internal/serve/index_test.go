@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -27,7 +28,7 @@ func TestIndexMatchesModel(t *testing.T) {
 			cfg.Options.Shards = shards
 			srv := newServer(t, st, cfg)
 			srv.ingest(Observation{Source: "good1", Subject: "wnew", Predicate: "p", Object: "v"})
-			if _, skipped, err := srv.rebuild(false); err != nil || skipped {
+			if _, skipped, err := srv.rebuild(context.Background(), false); err != nil || skipped {
 				t.Fatalf("rebuild: skipped=%v err=%v", skipped, err)
 			}
 			sn := srv.snap.Load()

@@ -119,15 +119,17 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 // route wraps a handler with its endpoint's request counter and labels the
 // in-flight request state for the instrumentation middleware. The counter is
 // resolved once at registration, so the per-request cost is one atomic add.
-func (s *Server) route(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+// It runs OUTSIDE the admission chain (see routes), so rate-limited and shed
+// requests are still counted, labeled and traced under their endpoint.
+func (s *Server) route(endpoint string, h http.Handler) http.Handler {
 	c := s.reqCounts.With(endpoint)
-	return func(w http.ResponseWriter, r *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		c.Inc()
 		if st := stateFrom(r.Context()); st != nil {
 			st.endpoint = endpoint
 		}
-		h(w, r)
-	}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // span times one named stage of a request: it records a span on the

@@ -37,6 +37,19 @@ type metrics struct {
 	// up. It distinguishes batch-only degradation from normal operation.
 	onlineDisabled atomic.Uint64
 
+	// Admission control: rateLimited counts 429s by API-key label (capped
+	// cardinality, see rateKeyLabel), shed counts 503s by endpoint, and
+	// refuseCoalesced counts /v1/refuse requests that joined another
+	// request's rebuild instead of starting their own.
+	rateLimited     *obs.CounterVec
+	shed            *obs.CounterVec
+	refuseCoalesced *obs.Counter
+
+	// encodeFailures counts responses whose JSON encoding failed after the
+	// status line was written — the client received a truncated body the
+	// status code cannot reflect anymore.
+	encodeFailures *obs.Counter
+
 	// persistFailures counts store saves that failed; lastPersistErr holds
 	// the latest failure message ("" after a successful save) for
 	// /v1/refuse, so operators can alert on a service that can no longer
@@ -54,6 +67,12 @@ type metrics struct {
 var endpoints = []string{
 	"observe", "triple", "subject", "source", "score", "refuse",
 	"healthz", "metrics", "traces",
+}
+
+// shedEndpoints are the endpoints behind the admission gate; their shed
+// counters are pre-created for the same dashboards-can-rely-on-it reason.
+var shedEndpoints = []string{
+	"observe", "triple", "subject", "source", "score", "refuse",
 }
 
 // initObs builds the metric registry, trace recorder and logger. It runs
@@ -92,6 +111,23 @@ func (s *Server) initObs() {
 
 	s.m.observations = r.Counter("corrfused_observations_total", "Claims ingested via /v1/observe.")
 	s.m.scored = r.Counter("corrfused_scored_triples_total", "Triples scored via /v1/score.")
+
+	// Admission control. The families exist (at zero) even when the knobs
+	// are disabled, so dashboards and alerts can rely on the series.
+	s.m.rateLimited = r.CounterVec("corrfused_ratelimited_total", "Requests refused with 429 by the per-API-key rate limiter, by key (\"anon\" = keyless fallback bucket; \"other\" past the label cap).", "key")
+	s.m.shed = r.CounterVec("corrfused_shed_total", "Requests shed with 503 by the max-in-flight gate, by endpoint (reads shed before durable writes).", "endpoint")
+	for _, e := range shedEndpoints {
+		s.m.shed.With(e)
+	}
+	r.GaugeFunc("corrfused_inflight", "Requests currently executing inside the admission gate (0 when -max-inflight is disabled).",
+		func() float64 {
+			if s.shedder == nil {
+				return 0
+			}
+			return float64(s.shedder.InFlight())
+		})
+	s.m.refuseCoalesced = r.Counter("corrfused_refuse_coalesced_total", "Concurrent /v1/refuse requests that joined an in-flight rebuild instead of starting another.")
+	s.m.encodeFailures = r.Counter("corrfused_response_encode_failures_total", "Responses whose JSON encoding failed after the status was written (client saw a truncated body).")
 
 	snap := func(f func(sn *snapshot) float64) func() float64 {
 		return func() float64 { return f(s.snap.Load()) }

@@ -1,0 +1,103 @@
+package middleware
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Class is a request's admission priority. When the in-flight gate fills,
+// lower-priority classes are refused first: reads are recomputable by the
+// client at any time, while a refused durable write is work the client must
+// retry and the service must re-validate — so reads shed first, and durable
+// writes keep a reserved headroom all the way to the gate's capacity.
+type Class int
+
+const (
+	// ClassWrite is the durable-write (and control) priority: admitted
+	// until the gate is completely full.
+	ClassWrite Class = iota
+	// ClassRead is the query priority: shed while capacity remains for
+	// writes, and earlier still under pressure.
+	ClassRead
+)
+
+// Shedder is a max-in-flight admission gate with two priority classes and
+// an external pressure signal. Occupancy is one atomic counter; admission
+// is an increment, a threshold compare and (on refusal) a decrement, so the
+// gate costs nanoseconds on the hot path.
+//
+// Thresholds: writes are admitted while occupancy ≤ max. Reads are admitted
+// while occupancy ≤ readMax, which reserves max/4 slots (at least one, when
+// max permits) for writes; while pressure() reports true — the serve layer
+// wires it to "WAL fsync waits are stalling or a rebuild is running" — the
+// read threshold halves again, shedding recomputable load exactly when the
+// expensive machinery is busiest. With max == 1 there is no room for a
+// reservation and both classes share the single slot.
+type Shedder struct {
+	max             int64
+	readMax         int64
+	pressureReadMax int64
+	pressure        func() bool
+
+	inflight atomic.Int64
+}
+
+// NewShedder builds a gate admitting at most max concurrent requests.
+// pressure may be nil (no pressure signal). NewShedder panics on a
+// non-positive max: disable shedding by not installing the middleware.
+func NewShedder(max int, pressure func() bool) *Shedder {
+	if max <= 0 {
+		panic("middleware: NewShedder requires a positive max")
+	}
+	m := int64(max)
+	reserve := m / 4
+	if reserve == 0 && m > 1 {
+		reserve = 1
+	}
+	readMax := m - reserve
+	return &Shedder{
+		max:             m,
+		readMax:         readMax,
+		pressureReadMax: readMax / 2,
+		pressure:        pressure,
+	}
+}
+
+// Acquire claims one in-flight slot for a request of class c, reporting
+// whether it was admitted. Every successful Acquire must be paired with
+// exactly one Release.
+func (s *Shedder) Acquire(c Class) bool {
+	limit := s.max
+	if c == ClassRead {
+		limit = s.readMax
+		if s.pressure != nil && s.pressure() {
+			limit = s.pressureReadMax
+		}
+	}
+	if s.inflight.Add(1) > limit {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Release frees a slot claimed by a successful Acquire.
+func (s *Shedder) Release() { s.inflight.Add(-1) }
+
+// InFlight returns the current occupancy (the corrfused_inflight gauge).
+func (s *Shedder) InFlight() int64 { return s.inflight.Load() }
+
+// ShedFunc wires the gate into a Middleware for one request class; reject
+// writes the 503 response (presentation and counting stay with the caller).
+func (s *Shedder) ShedFunc(c Class, reject func(w http.ResponseWriter, r *http.Request)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !s.Acquire(c) {
+				reject(w, r)
+				return
+			}
+			defer s.Release()
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package middleware
+
+import (
+	"context"
+	"sync"
+)
+
+// Flight coalesces concurrent invocations of one expensive operation: while
+// a call is running, later callers join it and share its result instead of
+// starting their own. It exists for /v1/refuse — N clients asking for a
+// refresh at once want one rebuild, not N serialized ones.
+//
+// Cancellation is reference-counted: the underlying function runs under a
+// context detached from any single caller (the first caller's disconnect
+// must not abort work others are waiting on), and that context is canceled
+// only when every joined caller has gone away — at which point nobody wants
+// the result and the work should stop burning CPU at its next checkpoint.
+type Flight struct {
+	mu  sync.Mutex
+	cur *flightCall
+}
+
+type flightCall struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters int
+	done    chan struct{}
+	val     any
+	err     error
+}
+
+// Do invokes fn, or joins an invocation already in progress. It returns
+// fn's result, with shared reporting whether this caller joined rather than
+// started the call. If ctx is done before the call completes, Do abandons
+// the wait and returns ctx's error; the call itself keeps running for the
+// remaining waiters and is canceled (through the context passed to fn) once
+// the last waiter abandons.
+func (f *Flight) Do(ctx context.Context, fn func(context.Context) (any, error)) (val any, shared bool, err error) {
+	f.mu.Lock()
+	c := f.cur
+	if c == nil {
+		c = &flightCall{done: make(chan struct{}), waiters: 1}
+		c.ctx, c.cancel = context.WithCancel(context.Background())
+		f.cur = c
+		f.mu.Unlock()
+		go func() {
+			v, err := fn(c.ctx)
+			f.mu.Lock()
+			c.val, c.err = v, err
+			if f.cur == c {
+				f.cur = nil
+			}
+			f.mu.Unlock()
+			c.cancel()
+			close(c.done)
+		}()
+	} else {
+		c.waiters++
+		shared = true
+		f.mu.Unlock()
+	}
+	select {
+	case <-c.done:
+		return c.val, shared, c.err
+	case <-ctx.Done():
+		f.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		if last && f.cur == c {
+			// Nobody is waiting anymore: detach the doomed call so a new
+			// request starts fresh instead of joining work that is about
+			// to observe its cancellation. The goroutine above still
+			// publishes into c (its waiters are gone) and must not clear a
+			// successor's registration — hence the f.cur == c guards.
+			f.cur = nil
+		}
+		f.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, shared, ctx.Err()
+	}
+}
+
+// Waiters returns the number of callers currently joined to the in-flight
+// call (0 when idle). Tests use it to deterministically assemble a burst.
+func (f *Flight) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cur == nil {
+		return 0
+	}
+	return f.cur.waiters
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -254,7 +255,7 @@ func TestConcurrentScrapeAndIngest(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 5; i++ {
-			if _, _, err := srv.rebuild(true); err != nil {
+			if _, _, err := srv.rebuild(context.Background(), true); err != nil {
 				errs <- err
 				return
 			}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"corrfuse"
@@ -22,7 +24,7 @@ func (s *Server) refresher() {
 		case <-s.stop:
 			return
 		case <-ticker.C:
-			if _, skipped, err := s.rebuild(false); err != nil {
+			if _, skipped, err := s.rebuild(context.Background(), false); err != nil {
 				s.logf("serve: background re-fusion failed: %v", err)
 			} else if !skipped {
 				if err := s.persist(); err != nil {
@@ -59,9 +61,25 @@ func (s *Server) refresher() {
 // /v1/accepted) serving the new model against a snapshot still serving the
 // old one. The service instead degrades to batch-only (inc = nil), logs the
 // cause once, raises the online_disabled gauge, and completes the swap.
-func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
+//
+// Cancellation: ctx bounds the rebuild (the refresher and New pass
+// context.Background(); /v1/refuse passes the coalesced clients' budget).
+// It is checked at the points of no side effects — on entry, after the
+// capture, and after the model trains but BEFORE SetFusion writes anything
+// back. Once write-back begins the rebuild runs to completion regardless:
+// aborting between SetFusion and the snapshot swap would leave store-backed
+// responses serving the new model against a snapshot still serving the old
+// one, the exact inconsistency this function exists to prevent.
+func (s *Server) rebuild(ctx context.Context, force bool) (*snapshot, bool, error) {
 	s.rebuildMu.Lock()
 	defer s.rebuildMu.Unlock()
+	s.rebuildActive.Store(true)
+	defer s.rebuildActive.Store(false)
+
+	if err := ctx.Err(); err != nil {
+		// Every client that queued for this rebuild is gone: don't start.
+		return nil, false, fmt.Errorf("serve: rebuild canceled before start: %w", err)
+	}
 
 	cur := s.snap.Load()
 
@@ -75,6 +93,9 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 			d := time.Since(begin)
 			tr.AddSpan(name, begin.Sub(tr.Start), d)
 			s.rebuildStage.With(name).Observe(d)
+			if s.testStageHook != nil {
+				s.testStageHook(name)
+			}
 		}
 	}
 
@@ -97,6 +118,10 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	s.live.Unlock()
 	endCapture()
 
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("serve: rebuild canceled after capture: %w", err)
+	}
+
 	begin := time.Now()
 	endTrain := stage("train")
 	var fuser corrfuse.Model
@@ -117,6 +142,12 @@ func (s *Server) rebuild(force bool) (*snapshot, bool, error) {
 	endTrain()
 	if err != nil {
 		return nil, false, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Last checkpoint: the trained model is discarded whole. Nothing
+		// was written back, so the store, snapshot and journal are exactly
+		// as a never-started rebuild would leave them.
+		return nil, false, fmt.Errorf("serve: rebuild canceled after train, results discarded: %w", err)
 	}
 	if sh, ok := fuser.(*corrfuse.ShardedFuser); ok {
 		// The sharded engine already times its serial routing pass and its

@@ -6,6 +6,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -107,7 +108,7 @@ func TestOnlineUnavailableIsSignalled(t *testing.T) {
 	// Rebuilds keep working batch-only, and ingests fall back to stored
 	// batch probabilities.
 	srv.ingest(Observation{Source: "good1", Subject: "t0", Predicate: "p", Object: "v"})
-	sn, _, err := srv.rebuild(true)
+	sn, _, err := srv.rebuild(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSeedFailureCompletesSwap(t *testing.T) {
 		return &failingScorer{inner: inc, failAll: true}, nil
 	}
 	srv.ingest(Observation{Source: "good1", Subject: "seedfail", Predicate: "p", Object: "v"})
-	sn, skipped, err := srv.rebuild(false)
+	sn, skipped, err := srv.rebuild(context.Background(), false)
 	if err != nil {
 		t.Fatalf("seed failure aborted the rebuild: %v", err)
 	}
@@ -163,7 +164,7 @@ func TestSeedFailureCompletesSwap(t *testing.T) {
 
 	// The next healthy rebuild restores live scoring and lowers the gauge.
 	srv.testOnlineHook = nil
-	if _, _, err := srv.rebuild(true); err != nil {
+	if _, _, err := srv.rebuild(context.Background(), true); err != nil {
 		t.Fatal(err)
 	}
 	if liveInc(srv) == nil {
@@ -195,7 +196,7 @@ func TestReplayFailureCompletesSwap(t *testing.T) {
 		return &failingScorer{inner: inc, failOn: poison}, nil
 	}
 	srv.ingest(Observation{Source: "good2", Subject: "pre-build", Predicate: "p", Object: "v"})
-	sn, skipped, err := srv.rebuild(false)
+	sn, skipped, err := srv.rebuild(context.Background(), false)
 	if err != nil {
 		t.Fatalf("replay failure aborted the rebuild: %v", err)
 	}
@@ -220,7 +221,7 @@ func TestReplayFailureCompletesSwap(t *testing.T) {
 	// The mid-build claim's provenance is in the store (ingest writes the
 	// store first), so the next rebuild folds it in and recovers.
 	srv.testOnlineHook = nil
-	if _, _, err := srv.rebuild(true); err != nil {
+	if _, _, err := srv.rebuild(context.Background(), true); err != nil {
 		t.Fatal(err)
 	}
 	if liveInc(srv) == nil {
@@ -253,7 +254,7 @@ func TestPartialRebuildEndToEnd(t *testing.T) {
 	partial.ingest(obs)
 	full.ingest(obs)
 
-	sn, skipped, err := partial.rebuild(false)
+	sn, skipped, err := partial.rebuild(context.Background(), false)
 	if err != nil || skipped {
 		t.Fatalf("partial rebuild: err=%v skipped=%v", err, skipped)
 	}
@@ -266,7 +267,7 @@ func TestPartialRebuildEndToEnd(t *testing.T) {
 			t.Errorf("shard %d reused=%v, dirty shard is %d", st.Shard, st.Reused, home)
 		}
 	}
-	if _, _, err := full.rebuild(false); err != nil {
+	if _, _, err := full.rebuild(context.Background(), false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -317,7 +318,7 @@ func TestPartialRebuildNewSourceFallsBackToFull(t *testing.T) {
 	srv := newServer(t, seedStoreWide(t, 48), cfg)
 
 	srv.ingest(Observation{Source: "newcomer", Subject: "wt0", Predicate: "p", Object: "v"})
-	sn, skipped, err := srv.rebuild(false)
+	sn, skipped, err := srv.rebuild(context.Background(), false)
 	if err != nil || skipped {
 		t.Fatalf("rebuild: err=%v skipped=%v", err, skipped)
 	}

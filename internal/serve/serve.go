@@ -34,6 +34,7 @@ import (
 	"corrfuse"
 	"corrfuse/internal/index"
 	"corrfuse/internal/obs"
+	"corrfuse/internal/serve/middleware"
 	"corrfuse/internal/store"
 	"corrfuse/internal/triple"
 	"corrfuse/internal/wal"
@@ -151,7 +152,53 @@ type Config struct {
 	// pre-date the instrumentation layer keep counting). Intended for the
 	// overhead benchmarks; production deployments leave it off.
 	DisableInstrumentation bool
+
+	// RateLimit, when positive, rate-limits the /v1 endpoints: each API
+	// key (the X-Api-Key request header) sustains RateLimit requests per
+	// second from its own token bucket, and every keyless request draws
+	// from one shared fallback bucket. Over-budget requests are refused
+	// with 429, a Retry-After header and a structured error before any
+	// handler work runs. /healthz, /metrics and /debug/traces are exempt.
+	// Zero disables rate limiting.
+	RateLimit float64
+
+	// RateBurst is the token-bucket depth under RateLimit — the instant
+	// burst a key may spend on top of the sustained rate. 0 defaults to
+	// twice RateLimit (at least 1).
+	RateBurst int
+
+	// RequestTimeout, when positive, is the per-request deadline budget:
+	// each /v1 request's context is bounded by it, and the deadline
+	// propagates into ingest validation, WAL commit waits and rebuild
+	// stages — a canceled or expired request stops consuming CPU and
+	// fsync slots at the next checkpoint. /v1/refuse gets refuseTimeoutFactor
+	// times the budget (a forced re-fusion is legitimately the slowest
+	// call in the API). Zero disables deadlines.
+	RequestTimeout time.Duration
+
+	// MaxInFlight, when positive, caps concurrently executing /v1
+	// requests. Past the cap, requests are shed with 503: reads
+	// (/v1/score, /v1/subject, /v1/source, /v1/triple) are refused while
+	// slots remain reserved for durable writes, and refused earlier still
+	// while the service is under pressure (WAL fsync waits stalling, or a
+	// rebuild in progress) — recomputable load sheds first, acknowledged
+	// durability last. Zero disables shedding.
+	MaxInFlight int
 }
+
+// refuseTimeoutFactor scales Config.RequestTimeout into the /v1/refuse
+// deadline budget: a forced batch re-fusion is expected to outlast any
+// normal request by about this much.
+const refuseTimeoutFactor = 10
+
+// Pressure signal constants: a WAL commit wait at least pressureCommitWait
+// long marks the service under pressure for the next pressureWindow, and
+// so does a rebuild in progress. Under pressure the load shedder halves
+// the read admission threshold (see Config.MaxInFlight).
+const (
+	pressureCommitWait = 50 * time.Millisecond
+	pressureWindow     = time.Second
+)
 
 // observation is a journaled ingest: a claim applied to the live scorer
 // that the next rebuild must not lose while it re-seeds from a store
@@ -231,6 +278,32 @@ type Server struct {
 	// rebuildMu serializes batch rebuilds (refresher ticks and /v1/refuse).
 	rebuildMu sync.Mutex
 
+	// rebuildActive is 1 while a rebuild holds rebuildMu: one of the two
+	// pressure signals the load shedder reads (the other is a recent slow
+	// WAL commit wait, slowCommitAt).
+	rebuildActive atomic.Bool
+
+	// slowCommitAt is the unix-nano timestamp of the last WAL commit wait
+	// that crossed pressureCommitWait (0: never). Within pressureWindow of
+	// it the service counts as under pressure and sheds reads earlier.
+	slowCommitAt atomic.Int64
+
+	// Admission control (nil members when the corresponding Config knob is
+	// zero): the limiter guards the /v1 endpoints per API key, the shedder
+	// caps in-flight work shedding reads before durable writes, and
+	// refuseFlight coalesces concurrent /v1/refuse rebuilds into one.
+	limiter      *middleware.Limiter
+	shedder      *middleware.Shedder
+	refuseFlight middleware.Flight
+
+	// rateKeys caps the label cardinality of corrfused_ratelimited_total:
+	// past rateKeyLabelMax distinct API keys, further keys are counted
+	// under the label "other" (the limiter itself still isolates them).
+	rateKeys struct {
+		sync.Mutex
+		seen map[string]bool
+	}
+
 	// wal is the durable write-ahead log, nil when Config.WALDir is empty.
 	// Ingests append to it before they are acknowledged; persist()
 	// truncates the segments each saved snapshot covers.
@@ -271,6 +344,12 @@ type Server struct {
 	// during a rebuild. Tests use it to inject scorers whose Observe fails
 	// mid-replay; production code never sets it.
 	testOnlineHook func(corrfuse.OnlineScorer, error) (corrfuse.OnlineScorer, error)
+
+	// testStageHook, when non-nil, runs at the end of every rebuild stage
+	// with the stage's name. Tests use it to gate or slow a stage (proving
+	// deadline propagation and single-flight coalescing deterministically);
+	// production code never sets it.
+	testStageHook func(stage string)
 
 	// Effective /v1/score limits (Config values after defaulting).
 	maxScoreTriples int
@@ -321,9 +400,9 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 			Sync:         cfg.WALSync,
 			SyncInterval: cfg.WALSyncInterval,
 			SegmentBytes: cfg.WALSegmentBytes,
-		}
-		if s.obsOn {
-			walOpts.OnCommitWait = s.walWait.Observe
+			// Always hooked (not only when instrumented): commit waits are
+			// one of the load shedder's pressure signals.
+			OnCommitWait: s.onCommitWait,
 		}
 		w, recs, err := wal.Open(cfg.WALDir, walOpts)
 		if err != nil {
@@ -348,16 +427,49 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		// capture.
 		st.TrackShards(cfg.Options.Shards)
 	}
-	if _, _, err := s.rebuild(true); err != nil {
+	if _, _, err := s.rebuild(context.Background(), true); err != nil {
 		if s.wal != nil {
 			s.wal.Close()
 		}
 		return nil, fmt.Errorf("serve: initial fusion: %w", err)
 	}
+	if cfg.RateLimit > 0 {
+		s.limiter = middleware.NewLimiter(cfg.RateLimit, cfg.RateBurst)
+		s.rateKeys.seen = make(map[string]bool)
+	}
+	if cfg.MaxInFlight > 0 {
+		s.shedder = middleware.NewShedder(cfg.MaxInFlight, s.underPressure)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.handler = s.instrument(s.mux)
 	return s, nil
+}
+
+// onCommitWait receives every WAL commit's durability wait: it feeds the
+// commit-wait histogram (when instrumented) and stamps the pressure signal
+// when the wait crosses pressureCommitWait — fsync stalls are the moment to
+// start shedding recomputable reads in favor of acknowledged writes.
+func (s *Server) onCommitWait(d time.Duration) {
+	if s.obsOn {
+		s.walWait.Observe(d)
+	}
+	if d >= pressureCommitWait {
+		s.slowCommitAt.Store(time.Now().UnixNano())
+	}
+}
+
+// underPressure reports whether the service should shed load early: a
+// rebuild is holding the refresh machinery, or a WAL commit stalled on
+// fsync within the last pressureWindow.
+func (s *Server) underPressure() bool {
+	if s.rebuildActive.Load() {
+		return true
+	}
+	if at := s.slowCommitAt.Load(); at != 0 && time.Now().UnixNano()-at < int64(pressureWindow) {
+		return true
+	}
+	return false
 }
 
 // Handler returns the HTTP handler serving the v1 API, wrapped in the

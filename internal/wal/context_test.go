@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCommitContextAbandon: a canceled context abandons the commit wait
+// with the context's error — the non-acknowledgment — but the record stays
+// in the log and becomes durable with the next commit, surviving a reopen:
+// at-least-once, never acknowledged-then-lost.
+func TestCommitContextAbandon(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir, Options{})
+	seq, err := w.Append(rec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := w.CommitContext(ctx, seq); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CommitContext with canceled ctx = %v, want context.Canceled", err)
+	}
+
+	// The abandoned record is still in the log: the next commit makes it
+	// durable and a reopen replays it.
+	if err := w.Commit(seq); err != nil {
+		t.Fatalf("Commit after abandoned wait: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 1 || recs[0].Subject != rec(0).Subject {
+		t.Fatalf("reopen recovered %v, want the abandoned-then-committed record", recs)
+	}
+}
+
+// TestCommitContextDurabilityWins: when the fsync lands before the waiter
+// notices its expired context, the commit reports success — the durability
+// check deliberately precedes the context check, so an achieved commit is
+// never mis-reported as abandoned.
+func TestCommitContextDurabilityWins(t *testing.T) {
+	w, _ := mustOpen(t, t.TempDir(), Options{})
+	seq := appendCommit(t, w, rec(0)) // already durable
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := w.CommitContext(ctx, seq); err != nil {
+		t.Fatalf("CommitContext on already-durable seq = %v, want nil", err)
+	}
+}
+
+// TestCommitContextWakesFollower: a follower parked on the group-commit
+// cond while a leader holds the fsync is woken by its own deadline (the
+// context.AfterFunc broadcast), not stranded until the leader returns. The
+// leader's fsync is simulated by holding the syncing flag.
+func TestCommitContextWakesFollower(t *testing.T) {
+	w, _ := mustOpen(t, t.TempDir(), Options{})
+	seq, err := w.Append(rec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pose as a leader mid-fsync: followers must queue on the cond.
+	w.dmu.Lock()
+	w.syncing = true
+	w.dmu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.CommitContext(ctx, seq) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("follower wait = %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline did not wake the parked follower")
+	}
+
+	// Release the fake leader; a fresh commit must still succeed.
+	w.dmu.Lock()
+	w.syncing = false
+	w.dcond.Broadcast()
+	w.dmu.Unlock()
+	if err := w.Commit(seq); err != nil {
+		t.Fatalf("Commit after released leader: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ package wal
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -452,6 +453,18 @@ func (w *WAL) Append(r Record) (uint64, error) {
 // covers seq; under SyncInterval and SyncOff it only pushes the buffer to
 // the OS — the fsync happens on the timer, or whenever the OS decides.
 func (w *WAL) Commit(seq uint64) error {
+	return w.CommitContext(context.Background(), seq)
+}
+
+// CommitContext is Commit bounded by a context: a waiter whose ctx is done
+// before an fsync covers seq abandons the wait and returns the context's
+// error. The record stays in the log and becomes durable with the next
+// group commit regardless — abandoning only means the caller must not
+// acknowledge, so the observation is at-least-once (replayed on recovery if
+// the client retries against a crashed server), never acknowledged-then-
+// lost. This is the deadline-propagation hook for the serve layer's ingest
+// budget: a client that is gone stops occupying a commit slot.
+func (w *WAL) CommitContext(ctx context.Context, seq uint64) error {
 	if seq == 0 {
 		return nil
 	}
@@ -489,6 +502,20 @@ func (w *WAL) Commit(seq uint64) error {
 	// fsync and is released together. Writers that arrive during the
 	// leader's fsync queue up as the next batch and elect the next leader
 	// the moment the broadcast wakes them.
+	//
+	// Cancellation: sync.Cond cannot select on a channel, so a canceled
+	// context wakes the waiters with a broadcast and each checks its own
+	// ctx on the way around the loop. The durability check deliberately
+	// precedes the ctx check — if the fsync made seq durable by the time
+	// the waiter wakes, the commit succeeded and is reported as such.
+	if done := ctx.Done(); done != nil {
+		stop := context.AfterFunc(ctx, func() {
+			w.dmu.Lock()
+			w.dcond.Broadcast()
+			w.dmu.Unlock()
+		})
+		defer stop()
+	}
 	w.dmu.Lock()
 	defer w.dmu.Unlock()
 	for {
@@ -500,6 +527,9 @@ func (w *WAL) Commit(seq uint64) error {
 		}
 		if w.dclosed {
 			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		if !w.syncing {
 			w.syncing = true
