@@ -49,6 +49,7 @@ func run(in, out, method string, alpha float64, unionK, level int, scopeName str
 		return err
 	}
 	d, err := dataset.Read(f)
+	//lint:ignore errswallow read-only file; the dataset.Read error just above is the one that matters
 	f.Close()
 	if err != nil {
 		return err

@@ -38,6 +38,7 @@ func writeTSV(path string, points []eval.Point) error {
 	}
 	for _, p := range points {
 		if _, err := fmt.Fprintf(f, "%.6f\t%.6f\n", p.X, p.Y); err != nil {
+			//lint:ignore errswallow cleanup on the error path; the Fprintf error is returned
 			f.Close()
 			return fmt.Errorf("experiments: %w", err)
 		}

@@ -154,6 +154,8 @@ func (idx *Index) Sources() int { return len(idx.bySource) }
 // Lookup returns the frozen probability and acceptance decision for a
 // snapshot triple ID in O(1). ok is false for IDs outside the fused result
 // set (unknown, or stored without any provider).
+//
+//corrfuse:hotpath
 func (idx *Index) Lookup(id triple.TripleID) (p float64, accepted, ok bool) {
 	if int(id) >= len(idx.provided) || !idx.provided[id] {
 		return 0, false, false

@@ -1,0 +1,17 @@
+package obs
+
+import "sync/atomic"
+
+// encodeFailures counts JSON encodings that failed inside the
+// observability layer itself: a log record that could not be
+// marshaled, or a /debug/traces response whose encode broke mid-write.
+// The observability layer cannot log its own failures without risking
+// recursion, so it counts them instead; serve exposes the counter as
+// corrfused_obs_encode_failures_total.
+var encodeFailures atomic.Uint64
+
+func noteEncodeFailure() { encodeFailures.Add(1) }
+
+// EncodeFailures returns the number of JSON encode failures inside the
+// observability layer since process start.
+func EncodeFailures() uint64 { return encodeFailures.Load() }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -142,10 +143,19 @@ func (l *Logger) write(level Level, traceID, msg string, keyvals []any) {
 		}
 		raw, err := json.Marshal(rec)
 		if err != nil {
-			raw, _ = json.Marshal(map[string]string{
+			// A keyval defeated jsonValue's coercion. Count the loss
+			// (corrfused_obs_encode_failures_total) and fall back to a
+			// minimal record; if even that fails, hand-assemble the
+			// line so the failure is never silent.
+			noteEncodeFailure()
+			raw, err = json.Marshal(map[string]string{
 				"ts": ts.Format(time.RFC3339Nano), "level": "error",
 				"msg": "log record not marshalable: " + err.Error(),
 			})
+			if err != nil {
+				raw = []byte(`{"ts":` + strconv.Quote(ts.Format(time.RFC3339Nano)) +
+					`,"level":"error","msg":"log record not marshalable"}`)
+			}
 		}
 		line = string(raw)
 	} else {

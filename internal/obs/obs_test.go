@@ -318,6 +318,25 @@ func TestLoggerTextAndJSON(t *testing.T) {
 	}
 }
 
+func TestLoggerMarshalFallbackCounted(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, "json")
+	before := EncodeFailures()
+	// NaN survives jsonValue's coercion and defeats json.Marshal, forcing
+	// the fallback record; the loss must be counted, never silent.
+	l.Info(context.Background(), "bad payload", "v", math.NaN())
+	if got := EncodeFailures() - before; got != 1 {
+		t.Fatalf("EncodeFailures delta = %d, want 1", got)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("fallback line is not valid JSON: %q: %v", buf.String(), err)
+	}
+	if rec["level"] != "error" || !strings.Contains(rec["msg"].(string), "not marshalable") {
+		t.Errorf("fallback record = %v", rec)
+	}
+}
+
 func TestLoggerFuncAndNil(t *testing.T) {
 	var lines []string
 	l := NewLoggerFunc(func(s string) { lines = append(lines, s) }, LevelInfo, "text")

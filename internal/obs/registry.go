@@ -176,6 +176,7 @@ func (f *counterVecFamily) write(w io.Writer) bool {
 	f.v.mu.RUnlock()
 	sort.Strings(keys)
 	for _, k := range keys {
+		//lint:ignore labelbound exposition loop; k ranges over already-created children, no new series
 		fmt.Fprintf(w, "%s%s %d\n", f.v.name, Label(f.v.label, k), f.v.With(k).Load())
 	}
 	return true
@@ -311,6 +312,7 @@ func (f *histogramVecFamily) write(w io.Writer) bool {
 	f.v.mu.RUnlock()
 	sort.Strings(keys)
 	for _, k := range keys {
+		//lint:ignore labelbound exposition loop; k ranges over already-created children, no new series
 		writeHistogram(w, f.v.name, Label(f.v.label, k), f.v.With(k))
 	}
 	return true

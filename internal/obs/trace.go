@@ -263,11 +263,15 @@ func (r *TraceRecorder) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
-		enc.Encode(map[string]any{
+		if err := enc.Encode(map[string]any{
 			"thresholdMs": float64(r.threshold.Microseconds()) / 1000,
 			"recorded":    r.Total(),
 			"retained":    len(all),
 			"traces":      traces,
-		})
+		}); err != nil {
+			// Mid-write failure (usually the debugging client went
+			// away); too late to change the status, so count it.
+			noteEncodeFailure()
+		}
 	})
 }

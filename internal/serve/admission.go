@@ -42,6 +42,7 @@ func (s *Server) admit(endpoint string, class middleware.Class, h http.Handler) 
 	}
 	if s.shedder != nil {
 		shed = s.shedder.ShedFunc(class, func(w http.ResponseWriter, r *http.Request) {
+			//lint:ignore labelbound endpoint is a route constant at every admit call site (see routes)
 			s.m.shed.With(endpoint).Inc()
 			s.rejectRetryable(w, http.StatusServiceUnavailable, time.Second,
 				"overloaded: too many requests in flight, %s shed", endpoint)
@@ -95,6 +96,8 @@ func retrySeconds(d time.Duration) float64 {
 // rateKeyLabel maps an API key to its metric label: "anon" for the shared
 // fallback bucket, the key itself (truncated to 64 bytes) for the first
 // rateKeyLabelMax distinct keys, then "other".
+//
+//corrfuse:labelcap
 func (s *Server) rateKeyLabel(key string) string {
 	if key == "" {
 		return "anon"

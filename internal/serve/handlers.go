@@ -170,6 +170,8 @@ func (s *Server) decodeCapped(w http.ResponseWriter, r *http.Request, v any) boo
 // observation is appended to the log and the batch's highest sequence is
 // group-committed before a byte of the response leaves. Without a WAL the
 // acknowledgment only promises the claims reached memory.
+//
+//corrfuse:hotpath
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if s.closing.Load() && s.wal == nil {
 		// Shutdown has begun and there is no WAL to make this durable: the
@@ -261,6 +263,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sn := s.snap.Load()
+	//lint:ignore hotpathalloc response assembly allocates once per request, not per claim
 	out := map[string]any{
 		"results":     results,
 		"snapshotSeq": sn.seq,
@@ -351,6 +354,8 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 // frozen index in O(1) each; triples with newer provenance by the
 // incremental model. Oversized requests (body bytes or triple count) are
 // rejected with 413 before any scoring work.
+//
+//corrfuse:hotpath
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	var req ScoreRequest
 	if !s.decodeCapped(w, r, &req) {
@@ -396,6 +401,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.live.RUnlock()
 	endScore()
 	s.m.scored.Add(uint64(len(req.Triples)))
+	//lint:ignore hotpathalloc response assembly allocates once per request, not per triple
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"results":         results,
 		"snapshotSeq":     sn.seq,

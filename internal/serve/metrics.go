@@ -128,6 +128,8 @@ func (s *Server) initObs() {
 		})
 	s.m.refuseCoalesced = r.Counter("corrfused_refuse_coalesced_total", "Concurrent /v1/refuse requests that joined an in-flight rebuild instead of starting another.")
 	s.m.encodeFailures = r.Counter("corrfused_response_encode_failures_total", "Responses whose JSON encoding failed after the status was written (client saw a truncated body).")
+	r.SampleFunc("corrfused_obs_encode_failures_total", "JSON encodings that failed inside the observability layer itself (unmarshalable log records, broken /debug/traces writes).", "counter",
+		func() []obs.Sample { return []obs.Sample{{Value: float64(obs.EncodeFailures())}} })
 
 	snap := func(f func(sn *snapshot) float64) func() float64 {
 		return func() float64 { return f(s.snap.Load()) }
@@ -290,5 +292,6 @@ func (s *Server) initObs() {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	//lint:ignore errswallow a scrape write fails only when the scraper hung up; nothing to do and nowhere to report it
 	s.reg.WriteTo(w)
 }

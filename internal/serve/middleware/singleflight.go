@@ -40,6 +40,7 @@ func (f *Flight) Do(ctx context.Context, fn func(context.Context) (any, error)) 
 	c := f.cur
 	if c == nil {
 		c = &flightCall{done: make(chan struct{}), waiters: 1}
+		//lint:ignore ctxflow the shared call must outlive any one caller's ctx; waiter refcounting cancels it
 		c.ctx, c.cancel = context.WithCancel(context.Background())
 		f.cur = c
 		f.mu.Unlock()

@@ -24,6 +24,7 @@ func (s *Server) refresher() {
 		case <-s.stop:
 			return
 		case <-ticker.C:
+			//lint:ignore ctxflow the background refresher has no request to inherit a deadline from
 			if _, skipped, err := s.rebuild(context.Background(), false); err != nil {
 				s.logf("serve: background re-fusion failed: %v", err)
 			} else if !skipped {
@@ -92,6 +93,7 @@ func (s *Server) rebuild(ctx context.Context, force bool) (*snapshot, bool, erro
 		return func() {
 			d := time.Since(begin)
 			tr.AddSpan(name, begin.Sub(tr.Start), d)
+			//lint:ignore labelbound name is a stage-name constant at every stage call site below
 			s.rebuildStage.With(name).Observe(d)
 			if s.testStageHook != nil {
 				s.testStageHook(name)

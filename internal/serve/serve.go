@@ -427,8 +427,10 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		// capture.
 		st.TrackShards(cfg.Options.Shards)
 	}
+	//lint:ignore ctxflow startup fusion runs before any request exists; New has no caller deadline to inherit
 	if _, _, err := s.rebuild(context.Background(), true); err != nil {
 		if s.wal != nil {
+			//lint:ignore errswallow best-effort cleanup; the initial-fusion error is returned
 			s.wal.Close()
 		}
 		return nil, fmt.Errorf("serve: initial fusion: %w", err)

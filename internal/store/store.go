@@ -344,11 +344,13 @@ func (s *Store) Save(path string) error {
 	}
 	tmp := f.Name()
 	if err := s.Write(f); err != nil {
+		//lint:ignore errswallow cleanup on the error path; the Write error is returned and the temp file removed
 		f.Close()
 		os.Remove(tmp)
 		return err
 	}
 	if err := fsyncFile(f); err != nil {
+		//lint:ignore errswallow cleanup on the error path; the fsync error is returned and the temp file removed
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("store: fsync: %w", err)

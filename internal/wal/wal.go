@@ -368,6 +368,7 @@ func (w *WAL) createSegment() error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := syncDir(w.dir); err != nil {
+		//lint:ignore errswallow cleanup on the error path; the directory-fsync error is returned
 		f.Close()
 		return err
 	}
@@ -453,6 +454,7 @@ func (w *WAL) Append(r Record) (uint64, error) {
 // covers seq; under SyncInterval and SyncOff it only pushes the buffer to
 // the OS — the fsync happens on the timer, or whenever the OS decides.
 func (w *WAL) Commit(seq uint64) error {
+	//lint:ignore ctxflow compatibility shim for deadline-less callers; request paths use CommitContext
 	return w.CommitContext(context.Background(), seq)
 }
 

@@ -1,0 +1,56 @@
+// Package ctxflow guards the context-propagation contract PR 7 wired
+// through the request path: handlers thread r.Context() and the WAL
+// waits under wal.CommitContext, so deadlines and client disconnects
+// reach the durability and rebuild layers. A context.Background() (or
+// TODO()) inside internal/serve or internal/wal silently detaches a
+// call chain from that budget — every legitimate detachment (the
+// background refresher, the coalesced-rebuild work context) must say
+// why with a //lint:ignore.
+package ctxflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"corrfuselint/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Background()/TODO() inside internal/serve and internal/wal request paths",
+	Run:  run,
+}
+
+// scopes are the package-path fragments the invariant covers.
+var scopes = []string{"internal/serve", "internal/wal"}
+
+func run(pass *lint.Pass) error {
+	inScope := false
+	for _, s := range scopes {
+		if strings.Contains(pass.PkgPath, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := lint.Callee(pass.Info, call)
+			if lint.PkgPathOf(obj) != "context" {
+				return true
+			}
+			if name := obj.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(),
+					"context.%s() detaches this call chain from the request/caller deadline budget: thread the caller's ctx (r.Context(), CommitContext) instead", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"corrfuselint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "fixtures", Analyzer)
+}

@@ -1,0 +1,3 @@
+module ctxflowfix
+
+go 1.24

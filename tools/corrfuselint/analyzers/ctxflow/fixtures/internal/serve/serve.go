@@ -1,0 +1,22 @@
+// Package serve sits on a path containing internal/serve, so ctxflow's
+// scope rule applies to it.
+package serve
+
+import "context"
+
+func detach() context.Context {
+	return context.Background() // want "context.Background\\(\\) detaches this call chain"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO\\(\\) detaches this call chain"
+}
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx) // threading the caller's ctx: not flagged
+}
+
+func suppressed() context.Context {
+	//lint:ignore ctxflow fixture proves the suppression path works
+	return context.Background()
+}

@@ -1,0 +1,8 @@
+// Package other is outside ctxflow's internal/serve and internal/wal
+// scopes: a detached context here is a caller decision, not a request-
+// path regression, and produces no diagnostics.
+package other
+
+import "context"
+
+func Detached() context.Context { return context.Background() }

@@ -1,0 +1,137 @@
+// Package errswallow flags discarded error results from the I/O and
+// encoding calls whose silent failures have bitten this repo before:
+// serve's writeJSON dropped Encode errors until PR 7 counted them, and
+// obs's JSON-log fallback dropped a Marshal error. An acknowledged
+// response or a persisted record whose write failed invisibly is a
+// durability bug, so these errors must be handled, logged-and-counted
+// (the writeJSON pattern), or suppressed with a written-down reason.
+package errswallow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"corrfuselint/lint"
+)
+
+// alwaysWatch are callee names whose ignored error is flagged wherever
+// the call appears (any receiver except the known never-fail buffers).
+var alwaysWatch = map[string]bool{
+	"Write": true, "WriteTo": true,
+	"Encode": true, "EncodeToken": true,
+	"Marshal": true, "MarshalIndent": true,
+	"Close": true, "Flush": true, "Sync": true,
+}
+
+// sinkWatch are print-style helpers flagged only when their first
+// argument is a risky sink (a real file, socket or HTTP response) —
+// flagging every Fprintf into a strings.Builder would be noise.
+var sinkWatch = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true, "WriteString": true,
+}
+
+var Analyzer = &lint.Analyzer{
+	Name: "errswallow",
+	Doc:  "discarded error results from Write/Encode/Marshal/Close/Fprintf-class calls in non-test code",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// Deferred Close on a read path is the idiom; write
+				// paths in this repo check Close explicitly.
+				return false
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscarded(pass, call, nil)
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 {
+					if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+						checkDiscarded(pass, call, n.Lhs)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscarded reports call if it returns an error that lhs discards:
+// every error-typed result position is the blank identifier (or, for an
+// expression statement, lhs is nil and every result is dropped).
+func checkDiscarded(pass *lint.Pass, call *ast.CallExpr, lhs []ast.Expr) {
+	name := lint.CalleeName(call)
+	sinkGated := sinkWatch[name]
+	if !alwaysWatch[name] && !sinkGated {
+		return
+	}
+	results := lint.ResultTuple(pass.Info, call)
+	if results == nil {
+		return
+	}
+	errIdx := -1
+	for i := 0; i < results.Len(); i++ {
+		if lint.IsErrorType(results.At(i).Type()) {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 {
+		return
+	}
+	if lhs != nil {
+		if errIdx >= len(lhs) || !isBlank(lhs[errIdx]) {
+			return
+		}
+	}
+	if recv := lint.Receiver(call); recv != nil {
+		t := pass.Info.Types[recv].Type
+		if lint.IsNamed(t, "strings", "Builder") || lint.IsNamed(t, "bytes", "Buffer") {
+			return // cannot fail: Write into an in-memory buffer
+		}
+		// hash.Hash documents "It never returns an error" for Write.
+		for _, h := range []string{"Hash", "Hash32", "Hash64"} {
+			if lint.IsNamed(t, "hash", h) {
+				return
+			}
+		}
+	}
+	if sinkGated {
+		if len(call.Args) == 0 || !riskySink(pass, call.Args[0]) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"error result of %s is discarded: handle it, or log-and-count it like serve's writeJSON does", name)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// riskySink reports whether the write target is a sink whose failure a
+// caller must not ignore: an *os.File (other than the process's own
+// stdout/stderr), a net.Conn, or an http.ResponseWriter.
+func riskySink(pass *lint.Pass, arg ast.Expr) bool {
+	arg = ast.Unparen(arg)
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj, ok := pass.Info.Uses[id].(*types.PkgName); ok && obj.Imported().Path() == "os" &&
+				(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+				return false // best-effort diagnostics to the terminal
+			}
+		}
+	}
+	t := pass.Info.Types[arg].Type
+	if t == nil {
+		return false
+	}
+	return lint.IsNamed(t, "os", "File") ||
+		lint.IsNamed(t, "net", "Conn") ||
+		lint.IsNamed(t, "net/http", "ResponseWriter")
+}

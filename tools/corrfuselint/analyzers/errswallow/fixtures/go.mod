@@ -1,0 +1,3 @@
+module errswallowfix
+
+go 1.24

@@ -1,0 +1,54 @@
+// Package fix exercises hotpathalloc: allocation sources inside
+// //corrfuse:hotpath functions are flagged, the same code on cold paths
+// is not, and the suppression path works.
+package fix
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// lookup is allocation-free, like index.Lookup: no findings.
+//
+//corrfuse:hotpath
+func lookup(ids []int) int {
+	total := 0
+	for _, id := range ids {
+		total += id
+	}
+	return total
+}
+
+//corrfuse:hotpath
+func respond(v any) ([]byte, error) {
+	return json.Marshal(v) // want "calls encoding/json.Marshal"
+}
+
+//corrfuse:hotpath
+func format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "calls fmt.Sprintf"
+}
+
+//corrfuse:hotpath
+func table() map[string]int {
+	m := make(map[string]int) // want "allocates a map"
+	m["k"] = 1
+	return m
+}
+
+//corrfuse:hotpath
+func literal() map[string]int {
+	return map[string]int{"k": 1} // want "allocates a map literal"
+}
+
+// coldPath is unannotated: the same allocations are fine off the hot path.
+func coldPath(v any) (string, error) {
+	raw, err := json.Marshal(v)
+	return fmt.Sprintf("%d bytes", len(raw)), err
+}
+
+//corrfuse:hotpath
+func suppressed(v any) map[string]any {
+	//lint:ignore hotpathalloc response assembly allocates once per request, not per item
+	return map[string]any{"v": v}
+}

@@ -1,0 +1,3 @@
+module hotpathallocfix
+
+go 1.24

@@ -1,0 +1,76 @@
+// Package hotpathalloc is the enforcement hook for the roadmap's
+// zero-allocation serving target: inside a function whose doc carries
+// //corrfuse:hotpath (index.Lookup, the score/observe handlers), it
+// flags the allocation sources those paths must shed — encoding/json
+// calls, fmt.Sprintf-family formatting, and map construction. Findings
+// either get optimized away or carry a //lint:ignore stating why the
+// allocation is acceptable (e.g. once-per-request, not per-triple), so
+// the hot-path baseline stays intentional while the fast paths land.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"corrfuselint/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "encoding/json, fmt.Sprintf and map allocation inside //corrfuse:hotpath functions",
+	Run:  run,
+}
+
+var fmtAllocs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true, "Appendf": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.Info.Defs[fd.Name]; !pass.Marked(obj, "hotpath") {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					obj := lint.Callee(pass.Info, n)
+					switch pkg := lint.PkgPathOf(obj); {
+					case pkg == "encoding/json":
+						pass.Reportf(n.Pos(),
+							"%s is a //corrfuse:hotpath function but calls encoding/json.%s: reflection-based encoding allocates per call (roadmap item 3 targets pooled buffers / generated fast paths)",
+							name, obj.Name())
+					case pkg == "fmt" && fmtAllocs[obj.Name()]:
+						pass.Reportf(n.Pos(),
+							"%s is a //corrfuse:hotpath function but calls fmt.%s: formatting allocates its result on every call",
+							name, obj.Name())
+					}
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" {
+						if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+							if tv, ok := pass.Info.Types[n]; ok {
+								if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+									pass.Reportf(n.Pos(),
+										"%s is a //corrfuse:hotpath function but allocates a map: maps cannot be stack-allocated or pooled cheaply", name)
+								}
+							}
+						}
+					}
+				case *ast.CompositeLit:
+					if tv, ok := pass.Info.Types[n]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							pass.Reportf(n.Pos(),
+								"%s is a //corrfuse:hotpath function but allocates a map literal: maps cannot be stack-allocated or pooled cheaply", name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Package fix exercises labelbound: the three bounded forms pass, raw
+// request data and local enumerations are flagged, and the suppression
+// path works.
+package fix
+
+import "labelboundfix/obs"
+
+var endpoints = []string{"observe", "score"}
+
+const fixed = "fixed"
+
+var (
+	vec  = &obs.CounterVec{}
+	hist = &obs.HistogramVec{}
+)
+
+func constants() {
+	vec.With("observe").Inc()
+	vec.With(fixed).Inc()
+	vec.With("pre" + fixed).Inc()
+}
+
+func enumeration() {
+	for _, e := range endpoints {
+		vec.With(e).Inc()
+	}
+}
+
+// capKey caps cardinality the way serve's rateKeyLabel does.
+//
+//corrfuse:labelcap
+func capKey(key string) string {
+	if len(key) > 8 {
+		return "other"
+	}
+	return key
+}
+
+func capped(key string) {
+	vec.With(capKey(key)).Inc()
+}
+
+func unbounded(userInput string) {
+	vec.With(userInput).Inc() // want "label value userInput is not provably bounded"
+}
+
+func localRange() {
+	local := []string{"a", "b"}
+	for _, e := range local {
+		vec.With(e).Inc() // want "label value e is not provably bounded"
+	}
+}
+
+func histUnbounded(path string) {
+	hist.With(path).Observe(1) // want "label value path is not provably bounded"
+}
+
+func suppressed(status string) {
+	//lint:ignore labelbound HTTP status codes are a bounded set
+	vec.With(status).Inc()
+}

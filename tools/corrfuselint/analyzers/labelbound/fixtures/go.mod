@@ -1,0 +1,3 @@
+module labelboundfix
+
+go 1.24

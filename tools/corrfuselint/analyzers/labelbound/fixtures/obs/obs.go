@@ -1,0 +1,19 @@
+// Package obs mimics the metric-vector shapes labelbound matches on:
+// With methods on types named CounterVec and HistogramVec.
+package obs
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type CounterVec struct{}
+
+func (v *CounterVec) With(label string) *Counter { return &Counter{} }
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(x float64) {}
+
+type HistogramVec struct{}
+
+func (v *HistogramVec) With(label string) *Histogram { return &Histogram{} }

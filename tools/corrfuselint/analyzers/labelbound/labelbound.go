@@ -1,0 +1,103 @@
+// Package labelbound guards metric-label cardinality: a value reaching
+// (*CounterVec).With / (*HistogramVec).With from request data grows one
+// time series per distinct input, which is how PR 7's rate limiter
+// nearly let clients spray unbounded corrfused_ratelimited_total
+// labels until the 64-key cap. A label value must be provably bounded:
+//
+//   - a compile-time constant,
+//   - the range variable of a loop over a package-level slice (the
+//     pre-created endpoint/stage enumerations), or
+//   - the result of a cardinality-capping helper whose declaration is
+//     annotated //corrfuse:labelcap (e.g. serve's rateKeyLabel).
+//
+// Anything else is flagged; a bounded-by-construction value (HTTP
+// status codes) may carry a //lint:ignore with the argument written out.
+package labelbound
+
+import (
+	"go/ast"
+	"go/types"
+
+	"corrfuselint/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "labelbound",
+	Doc:  "CounterVec/HistogramVec label values must be constants, bounded enumerations, or pass a //corrfuse:labelcap helper",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		// rangeBounded maps objects bound as `for _, v := range pkgLevelVar`
+		// values to true, per file (objects are function-scoped anyway).
+		rangeBounded := map[types.Object]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			val, ok := rs.Value.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			x, ok := ast.Unparen(rs.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pass.Info.Uses[x]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+				if vobj := pass.Info.Defs[val]; vobj != nil {
+					rangeBounded[vobj] = true
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || lint.CalleeName(call) != "With" || len(call.Args) != 1 {
+				return true
+			}
+			recv := lint.Receiver(call)
+			if recv == nil {
+				return true
+			}
+			named := lint.NamedType(pass.Info.Types[recv].Type)
+			if named == nil {
+				return true
+			}
+			if name := named.Obj().Name(); name != "CounterVec" && name != "HistogramVec" {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			if bounded(pass, rangeBounded, arg) {
+				return true
+			}
+			pass.Reportf(arg.Pos(),
+				"label value %s is not provably bounded: use a constant, a package-level enumeration, or a //corrfuse:labelcap helper so one client cannot grow a time series per request",
+				lint.Render(pass.Fset, arg))
+			return true
+		})
+	}
+	return nil
+}
+
+func bounded(pass *lint.Pass, rangeBounded map[types.Object]bool, arg ast.Expr) bool {
+	// Compile-time constant (literal, const, concatenation thereof).
+	if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil {
+		return true
+	}
+	// Range variable over a package-level enumeration.
+	if id, ok := arg.(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil && rangeBounded[obj] {
+			return true
+		}
+	}
+	// Result of an annotated cardinality-capping helper.
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if obj := lint.Callee(pass.Info, inner); pass.Marked(obj, "labelcap") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package labelbound
+
+import (
+	"testing"
+
+	"corrfuselint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "fixtures", Analyzer)
+}

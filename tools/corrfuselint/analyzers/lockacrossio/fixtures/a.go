@@ -1,0 +1,68 @@
+// Package fix exercises lockacrossio: fsync and WAL waits under a held
+// mutex are flagged; unlock-before-I/O, I/O-before-lock, nested literal
+// scopes and the suppression path are not.
+package fix
+
+import (
+	"os"
+	"sync"
+
+	"lockacrossiofix/wal"
+)
+
+type srv struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	file *os.File
+	log  *wal.WAL
+}
+
+func (s *srv) syncUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.file.Sync() // want "Sync called while holding s.mu"
+}
+
+func (s *srv) commitUnderRLock(seq uint64) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.log.Commit(seq) // want "wal.WAL.Commit called while holding s.rw"
+}
+
+func (s *srv) bothHeld(seq uint64) error {
+	s.mu.Lock()
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	defer s.mu.Unlock()
+	return s.log.Sync() // want "holding s.mu, s.rw"
+}
+
+func (s *srv) unlockBeforeSync() error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.file.Sync() // released before the fsync: not flagged
+}
+
+func (s *srv) ioBeforeLock() error {
+	if err := s.file.Sync(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return nil
+}
+
+func (s *srv) literalScope() func() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The literal runs later, outside this critical section: its body is
+	// a fresh lock scope.
+	return func() error { return s.file.Sync() }
+}
+
+func (s *srv) suppressed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockacrossio fixture proves the suppression path works
+	return s.file.Sync()
+}

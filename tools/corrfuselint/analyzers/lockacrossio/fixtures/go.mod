@@ -1,0 +1,3 @@
+module lockacrossiofix
+
+go 1.24

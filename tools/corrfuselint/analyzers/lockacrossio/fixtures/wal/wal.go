@@ -1,0 +1,11 @@
+// Package wal mimics the shape lockacrossio matches on: Commit*/Sync
+// methods on a type declared in a package named wal are durability waits.
+package wal
+
+type WAL struct{}
+
+func (w *WAL) Commit(seq uint64) error { return nil }
+
+func (w *WAL) CommitContext(seq uint64) error { return nil }
+
+func (w *WAL) Sync() error { return nil }

@@ -1,0 +1,169 @@
+// Package lockacrossio flags sync.Mutex/RWMutex critical sections that
+// reach fsync or network I/O: (*os.File).Sync, the WAL's commit/sync
+// entry points, net.Conn traffic, and http.Client round trips. The
+// WAL's group-commit discipline (PR 5) exists precisely because one
+// fsync under a hot mutex serializes every writer behind disk latency;
+// this analyzer keeps that discipline from regressing.
+//
+// The analysis is intraprocedural and linear: it tracks Lock/Unlock
+// pairs in source order inside one function body, so a lock released on
+// one branch is treated as released. That under-reports; it never
+// blocks a legitimate pattern. A deferred Unlock holds to function end.
+package lockacrossio
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"corrfuselint/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "lockacrossio",
+	Doc:  "sync.Mutex/RWMutex held across File.Sync, wal.Commit*/Sync, or network I/O",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody scans one function body (and its nested literals, each with
+// its own lock scope) in source order.
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	held := map[string]bool{} // rendered receiver expr -> currently held
+	var heldOrder []string
+
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, n.Body)
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at return: the lock stays held for
+			// the rest of the body. Nothing to update; skip the call so
+			// it is not mistaken for an inline Unlock.
+			return false
+		case *ast.CallExpr:
+			if recv, op := mutexOp(pass, n); op != "" {
+				key := lint.Render(pass.Fset, recv)
+				switch op {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					if !held[key] {
+						held[key] = true
+						heldOrder = append(heldOrder, key)
+					}
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return true
+			}
+			if what := ioCall(pass, n); what != "" {
+				var locked []string
+				for _, key := range heldOrder {
+					if held[key] {
+						locked = append(locked, key)
+					}
+				}
+				if len(locked) > 0 {
+					pass.Reportf(n.Pos(),
+						"%s called while holding %s: fsync/network waits under a mutex serialize every other holder (move the I/O outside the critical section, as wal's group commit does)",
+						what, strings.Join(locked, ", "))
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, scan)
+}
+
+// mutexOp matches x.Lock()/x.Unlock()-style calls whose method resolves
+// to sync.Mutex or sync.RWMutex (directly or through embedding) and
+// returns the receiver expression and operation name.
+func mutexOp(pass *lint.Pass, call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, ""
+	}
+	obj := lint.Callee(pass.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil, ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil, ""
+	}
+	if !lint.IsNamed(recv.Type(), "sync", "Mutex") && !lint.IsNamed(recv.Type(), "sync", "RWMutex") {
+		return nil, ""
+	}
+	return sel.X, sel.Sel.Name
+}
+
+// ioCall classifies calls that wait on disk or the network.
+func ioCall(pass *lint.Pass, call *ast.CallExpr) string {
+	name := lint.CalleeName(call)
+	obj := lint.Callee(pass.Info, call)
+	if obj == nil {
+		return ""
+	}
+	// Package-level network helpers: net.Dial*, http.Get/Post/...
+	switch pkg := lint.PkgPathOf(obj); pkg {
+	case "net":
+		if strings.HasPrefix(name, "Dial") {
+			return "net." + name
+		}
+	case "net/http":
+		switch name {
+		case "Get", "Head", "Post", "PostForm":
+			return "http." + name
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	switch {
+	case name == "Sync" && lint.IsNamed(rt, "os", "File"):
+		return "(*os.File).Sync"
+	case lint.IsNamed(rt, "net/http", "Client") && name == "Do":
+		return "(*http.Client).Do"
+	case lint.IsNamed(rt, "net", "Conn") && (name == "Read" || name == "Write" || name == "Close"):
+		return "net.Conn." + name
+	}
+	// The repo's WAL: any Commit*/Sync method on a type declared in a
+	// package named wal is a durability wait (group-commit fsync).
+	if named := lint.NamedType(rt); named != nil && named.Obj().Pkg() != nil {
+		p := named.Obj().Pkg().Path()
+		if p == "wal" || strings.HasSuffix(p, "/wal") {
+			if name == "Sync" || strings.HasPrefix(name, "Commit") {
+				return "wal." + named.Obj().Name() + "." + name
+			}
+		}
+	}
+	return ""
+}

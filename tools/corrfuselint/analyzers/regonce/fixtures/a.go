@@ -1,0 +1,41 @@
+// Package fix exercises regonce: duplicate families (direct and through
+// a closure helper), empty HELP, unresolvable names, uncalled helpers,
+// the exported-helper deferral, and the suppression path.
+package fix
+
+import "regoncefix/obs"
+
+const seqName = "app_seq"
+
+func register(r *obs.Registry) {
+	r.Counter("app_requests_total", "Requests served.")
+	r.Counter("app_requests_total", "Registered twice.") // want "registered more than once"
+	r.GaugeFunc("app_up", "", nil)                       // want "empty HELP string"
+	r.CounterVec("app_errors_total", "Errors by kind.", "kind")
+	obs.RegisterBuildInfo(r, "app_build_info")
+
+	gauge := func(name, help string) {
+		r.GaugeFunc(name, help, nil)
+	}
+	gauge(seqName, "Last sequence number.")
+	gauge("app_seq", "Same family again, through the helper.") // want "registered more than once"
+
+	var dyn string
+	r.Counter(dyn, "Dynamic name.") // want "not a compile-time constant"
+
+	uncalled := func(name string) {
+		r.SampleFunc(name, "Helper nobody calls.", "gauge", nil) // want "no resolvable call sites"
+	}
+	_ = uncalled
+}
+
+// RegisterSeq is exported: its name parameter is checked at call sites
+// outside this package, not at the declaration.
+func RegisterSeq(r *obs.Registry, name string) {
+	r.GaugeFunc(name, "Sequence gauge.", nil)
+}
+
+func suppressed(r *obs.Registry) {
+	//lint:ignore regonce fixture proves the suppression path works
+	r.Counter("app_requests_total", "Third registration, suppressed.")
+}

@@ -1,0 +1,3 @@
+module regoncefix
+
+go 1.24

@@ -1,0 +1,22 @@
+// Package obs mimics the registration surface regonce matches on:
+// family-registering methods on a type named Registry, plus the
+// exported package-level helper.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+type CounterVec struct{}
+
+type Sample struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+func (r *Registry) CounterVec(name, help, label string) *CounterVec { return &CounterVec{} }
+
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {}
+
+func (r *Registry) SampleFunc(name, help, typ string, f func() []Sample) {}
+
+func RegisterBuildInfo(r *Registry, name string) {}

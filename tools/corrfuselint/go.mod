@@ -1,0 +1,3 @@
+module corrfuselint
+
+go 1.24

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreSet maps file → line → analyzer names suppressed on that line.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) match(d Diagnostic) bool {
+	names := s[d.Pos.Filename][d.Pos.Line]
+	return names["*"] || names[d.Analyzer]
+}
+
+// scanIgnores collects //lint:ignore directives from a package's files.
+//
+// Syntax (staticcheck-compatible):
+//
+//	//lint:ignore analyzer1,analyzer2 reason the finding is intentional
+//
+// The directive suppresses matching diagnostics on its own line and on
+// the line directly below it, so it works both inline after a statement
+// and as a standalone comment above one. A directive without a reason
+// is itself reported: a suppression whose justification nobody wrote
+// down is exactly the silent exception this tool exists to prevent.
+func scanIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	set := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				body, ok := strings.CutPrefix(rest, "lint:ignore")
+				if !ok || (body != "" && body[0] != ' ' && body[0] != '\t') {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(body)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lintdirective",
+						Message:  "malformed //lint:ignore: need analyzer names and a reason",
+					})
+					continue
+				}
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					names := lines[line]
+					if names == nil {
+						names = make(map[string]bool)
+						lines[line] = names
+					}
+					for _, n := range strings.Split(fields[0], ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							names[n] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Render prints a node back to source text (single line, best effort).
+func Render(fset *token.FileSet, n ast.Node) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, n); err != nil {
+		return "?"
+	}
+	return b.String()
+}
+
+// Callee resolves the object a call expression invokes: a *types.Func
+// for functions and methods, a *types.Builtin for builtins, nil for
+// indirect calls through function values and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// CalleeName returns the bare identifier a call invokes ("Close",
+// "Fprintf"), or "".
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// Receiver returns the expression a method is selected from (x in
+// x.M(...)), or nil for plain function calls.
+func Receiver(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// NamedType dereferences pointers and reports the named type behind t,
+// or nil (builtin, interface literal, struct literal, ...).
+func NamedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// IsNamed reports whether t (after pointer dereference) is the named
+// type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := NamedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// PkgPathOf returns the declaring package path of obj, or "".
+func PkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// ResultTuple returns the result types of a call's callee signature.
+func ResultTuple(info *types.Info, call *ast.CallExpr) *types.Tuple {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}

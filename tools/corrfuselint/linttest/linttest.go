@@ -1,0 +1,121 @@
+// Package linttest runs an analyzer over a fixture module and checks
+// its diagnostics against // want "regexp" comments, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout: each analyzer package keeps a `fixtures` directory
+// holding a tiny self-contained Go module (its own go.mod, stdlib-only
+// imports plus fake local packages that mimic the shapes the analyzer
+// matches on). Lines expected to be flagged end with
+//
+//	code() // want "substring or regexp of the message"
+//
+// multiple expectations stack as further quoted strings. A fixture line
+// carrying a //lint:ignore directive and no want comment doubles as the
+// suppression-path test: the run fails if the ignored finding leaks.
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"corrfuselint/lint"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the fixture module at dir, applies the analyzer to every
+// package in it, and reports mismatches between the diagnostics and the
+// fixture's want comments on t.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	prog, err := lint.Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := prog.Run([]*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range prog.Targets() {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, q := range splitQuoted(t, pos, m[1]) {
+						rx, err := regexp.Compile(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q, err)
+						}
+						wants[k] = append(wants[k], rx)
+					}
+				}
+			}
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, rxs := range wants {
+		matched[k] = make([]bool, len(rxs))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for i, rx := range wants[k] {
+			if !matched[k][i] && rx.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, rxs := range wants {
+		for i, rx := range rxs {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, rx)
+			}
+		}
+	}
+}
+
+// splitQuoted parses the quoted expectation list after "// want".
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s:%d: want expectations must be quoted strings, got %q", pos.Filename, pos.Line, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s:%d: unterminated want pattern in %q", pos.Filename, pos.Line, s)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, s[:end+1], err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Command corrfuselint runs the repo's invariant analyzers (see
+// package analyzers) over a module and fails if any diagnostic
+// survives //lint:ignore suppression.
+//
+// Usage, from the repository root (the go.work workspace makes the
+// nested module runnable in place):
+//
+//	go run ./tools/corrfuselint ./...
+//	go run ./tools/corrfuselint -dir some/module ./...
+//	go run ./tools/corrfuselint -only errswallow,ctxflow ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"corrfuselint/analyzers"
+	"corrfuselint/lint"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("corrfuselint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module directory to analyze (patterns resolve relative to it)")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "corrfuselint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "corrfuselint: %v\n", err)
+		return 2
+	}
+	diags, err := prog.Run(suite)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "corrfuselint: %v\n", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "corrfuselint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
