@@ -13,6 +13,7 @@
 //	      [-max-score-triples 1024] [-max-body-bytes 1048576]
 //	      [-wal dir] [-wal-sync always|interval|off]
 //	      [-wal-sync-interval 100ms] [-wal-segment-bytes 4194304]
+//	      [-wal-retain-segments 0] [-follow http://leader:6060]
 //	      [-log-format text|json] [-log-level info] [-slow-request 1s]
 //	      [-trace-buffer 256] [-trace-threshold 0]
 //	      [-debug-addr localhost:6060] [-no-instrumentation]
@@ -63,6 +64,19 @@
 // off leaves flushing to the OS. Without -wal an acknowledgment only
 // promises the claim reached memory; the window since the last persist is
 // lost on a crash. See the README's "Durability" section.
+//
+// Replication (see the README's "Replication" section): a -wal leader with
+// -debug-addr ships its log from GET /repl/wal on the debug listener (plus a
+// bootstrap snapshot on GET /repl/snapshot); a process started with
+// -follow <leader-debug-url> becomes a read-only follower — it bootstraps
+// from the leader snapshot when its local WAL is empty, pulls and re-verifies
+// CRC'd log segments, applies them through the normal store path, rebuilds
+// its own snapshots/indexes, and serves the read endpoints while answering
+// /v1/observe with 403 pointing at the leader. Followers report lag on
+// /healthz, /v1/refuse and the corrfused_repl_* metrics; a leader outage
+// degrades to stale reads with backoff, never a follower crash. Set
+// -wal-retain-segments on the leader so briefly-lagging followers catch up
+// from retained segments instead of re-bootstrapping (HTTP 410).
 //
 // Admission control (all off by default; see the README's "Admission
 // control" section): -rate-limit gives every API key (X-Api-Key header) a
@@ -129,6 +143,9 @@ type options struct {
 	walSync         string
 	walSyncInterval time.Duration
 	walSegmentBytes int64
+	walRetain       int
+
+	follow string
 
 	logFormat      string
 	logLevel       string
@@ -184,6 +201,8 @@ func main() {
 	flag.StringVar(&o.walSync, "wal-sync", wal.SyncAlways, "WAL fsync policy: always (group commit per ack), interval, off")
 	flag.DurationVar(&o.walSyncInterval, "wal-sync-interval", wal.DefaultSyncInterval, "WAL fsync period under -wal-sync interval")
 	flag.Int64Var(&o.walSegmentBytes, "wal-segment-bytes", wal.DefaultSegmentBytes, "rotate WAL segments past this size")
+	flag.IntVar(&o.walRetain, "wal-retain-segments", 0, "keep the newest N snapshot-covered WAL segments across truncation (set on leaders so lagging followers catch up without a re-bootstrap)")
+	flag.StringVar(&o.follow, "follow", "", "replicate from this leader's debug/admin base URL (follower mode: read-only API, requires -wal; bootstraps from the leader snapshot when the local WAL is empty)")
 	flag.StringVar(&o.logFormat, "log-format", "text", "log format: text or json (one object per line)")
 	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	flag.DurationVar(&o.slowRequest, "slow-request", time.Second, "log a structured warning for requests at least this slow (0 disables)")
@@ -225,6 +244,18 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 	}
 	logger := obs.NewLogger(os.Stderr, level, o.logFormat)
 
+	if o.follow != "" {
+		if o.walDir == "" {
+			return fmt.Errorf("-follow requires -wal: the follower's own log is what replays on restart and reports the replication position")
+		}
+		// First boot of a follower: pull the leader's store snapshot and pin
+		// the local WAL to the first uncovered sequence. With existing local
+		// history the normal replay below resumes from it.
+		if _, err := bootstrapFollower(ctx, o, logger); err != nil {
+			return err
+		}
+	}
+
 	st, err := store.Load(o.storePath)
 	if err != nil {
 		return err
@@ -241,6 +272,9 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		WALSync:                o.walSync,
 		WALSyncInterval:        o.walSyncInterval,
 		WALSegmentBytes:        o.walSegmentBytes,
+		WALRetainSegments:      o.walRetain,
+		ReadOnly:               o.follow != "",
+		LeaderURL:              o.follow,
 		Logger:                 logger,
 		SlowRequestThreshold:   o.slowRequest,
 		TraceBufferSize:        o.traceBuffer,
@@ -323,9 +357,27 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("/debug/traces", srv.TracesHandler())
 		dmux.Handle("/metrics", srv.MetricsHandler())
+		if o.follow == "" && srv.WAL() != nil {
+			// Leaders ship their WAL (and a bootstrap snapshot) from the
+			// debug listener; followers don't re-ship (no chaining yet).
+			if err := mountLeader(ctx, dmux, srv, logger); err != nil {
+				return err
+			}
+			logger.Info(ctx, "replication leader endpoints up", "addr", dln.Addr().String())
+		}
 		ds = o.httpServer(dmux)
+		// Replication long-polls ride this listener and hold connections
+		// open by design; deriving request contexts from ctx makes them
+		// unwind at shutdown instead of stalling Shutdown's drain.
+		ds.BaseContext = func(net.Listener) context.Context { return ctx }
 		go ds.Serve(dln)
 		logger.Info(ctx, "debug listener up", "addr", dln.Addr().String())
+	}
+
+	if o.follow != "" {
+		if err := startFollower(ctx, o, srv, logger); err != nil {
+			return err
+		}
 	}
 
 	ln, err := net.Listen("tcp", o.addr)

@@ -173,6 +173,13 @@ func (s *Server) decodeCapped(w http.ResponseWriter, r *http.Request, v any) boo
 //
 //corrfuse:hotpath
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadOnly {
+		// Followers never accept writes: a claim ingested here would fork
+		// the replica from the leader's history. Rejection is the cold
+		// branch — the allocating response builder lives off the hot path.
+		s.rejectReadOnly(w)
+		return
+	}
 	if s.closing.Load() && s.wal == nil {
 		// Shutdown has begun and there is no WAL to make this durable: the
 		// final persist may already have captured the store, so an ack now
@@ -487,6 +494,9 @@ func (s *Server) refuseSummary(sn *snapshot, skipped bool) map[string]any {
 	if s.wal != nil {
 		out["wal"] = s.walStatus()
 	}
+	if st, ok := s.replStatusNow(); ok {
+		out["repl"] = s.replSummary(st)
+	}
 	return out
 }
 
@@ -494,13 +504,17 @@ func (s *Server) refuseSummary(sn *snapshot, skipped bool) map[string]any {
 // recovery state (records replayed at startup) and the live log head.
 func (s *Server) walStatus() map[string]any {
 	st := s.wal.Stats()
-	return map[string]any{
+	out := map[string]any{
 		"recoveredRecords": s.walRecovered,
 		"seq":              st.Seq,
 		"durableSeq":       st.DurableSeq,
 		"segments":         st.Segments,
 		"bytes":            st.Bytes,
 	}
+	if st.IgnoredFiles > 0 {
+		out["ignoredFiles"] = st.IgnoredFiles
+	}
+	return out
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -518,6 +532,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.wal != nil {
 		out["wal"] = s.walStatus()
+	}
+	if st, ok := s.replStatusNow(); ok {
+		out["repl"] = s.replSummary(st)
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }

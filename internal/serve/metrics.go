@@ -232,6 +232,38 @@ func (s *Server) initObs() {
 		func(st wal.Stats) float64 { return float64(st.LastGroupCommit) })
 	walGauge("corrfused_wal_recovered_records", "Acknowledged observations replayed from the WAL at startup.",
 		func(st wal.Stats) float64 { return float64(s.walRecovered) })
+	walGauge("corrfused_wal_ignored_files", "Files in the WAL directory skipped at startup because their names are not valid segments (crash leftovers; each is also logged).",
+		func(st wal.Stats) float64 { return float64(st.IgnoredFiles) })
+
+	// The replication families are suppressed — header included — until
+	// SetReplStatus installs a status source (followers only), mirroring the
+	// WAL-family pattern above.
+	replMetric := func(name, help, typ string, f func(st ReplStatus) float64) {
+		r.SampleFunc(name, help, typ, func() []obs.Sample {
+			st, ok := s.replStatusNow()
+			if !ok {
+				return nil
+			}
+			return []obs.Sample{{Value: f(st)}}
+		})
+	}
+	replMetric("corrfused_repl_follower_connected", "1 while the follower's last leader contact succeeded, 0 while it serves stale reads and retries.", "gauge",
+		func(st ReplStatus) float64 {
+			if st.Connected {
+				return 1
+			}
+			return 0
+		})
+	replMetric("corrfused_repl_lag_records", "Leader records not yet applied by this follower.", "gauge",
+		func(st ReplStatus) float64 { return float64(st.LagRecords) })
+	replMetric("corrfused_repl_lag_seconds", "How long this follower has continuously trailed the leader (0 when caught up).", "gauge",
+		func(st ReplStatus) float64 { return st.LagSeconds })
+	replMetric("corrfused_repl_applied_seq", "Last replicated WAL sequence applied by this follower.", "gauge",
+		func(st ReplStatus) float64 { return float64(st.AppliedSeq) })
+	replMetric("corrfused_repl_leader_seq", "Leader WAL head as of this follower's last contact.", "gauge",
+		func(st ReplStatus) float64 { return float64(st.LeaderSeq) })
+	replMetric("corrfused_repl_segments_shipped_total", "Shipment batches fetched from the leader and applied.", "counter",
+		func(st ReplStatus) float64 { return float64(st.SegmentsShipped) })
 
 	r.GaugeFunc("corrfused_shards", "Shards of the live batch model (1 = monolithic).",
 		snap(func(sn *snapshot) float64 {

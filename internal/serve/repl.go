@@ -1,0 +1,145 @@
+package serve
+
+// Replication integration. The serve package deliberately does not import
+// internal/repl: the follower loop and the leader endpoints live there and
+// reach the server through the small surface below (cmd/fused wires the two
+// together). This keeps the dependency arrow pointing one way — repl knows
+// wal, serve knows neither.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"corrfuse/internal/store"
+	"corrfuse/internal/triple"
+	"corrfuse/internal/wal"
+)
+
+// ReplStatus is a follower's replication position as surfaced on /healthz,
+// /v1/refuse and the corrfused_repl_* metric families. cmd/fused maps it
+// from the repl follower's own status type.
+type ReplStatus struct {
+	// Connected reports the last leader contact succeeded; false means the
+	// follower is serving stale reads while it retries.
+	Connected bool
+	// AppliedSeq is the last replicated record applied locally; LeaderSeq
+	// is the leader's head as of the last contact.
+	AppliedSeq, LeaderSeq uint64
+	// SegmentsShipped counts shipment batches applied since start.
+	SegmentsShipped uint64
+	// LagRecords and LagSeconds quantify how far and for how long the
+	// follower trails the leader (both 0 when caught up).
+	LagRecords uint64
+	LagSeconds float64
+}
+
+type replStatusFn func() ReplStatus
+
+// SetReplStatus installs the replication-status source (a follower's status
+// getter). Installing it activates the corrfused_repl_* metric families and
+// the repl sections of /healthz and /v1/refuse.
+func (s *Server) SetReplStatus(f func() ReplStatus) {
+	if f == nil {
+		s.replStatus.Store(nil)
+		return
+	}
+	fn := replStatusFn(f)
+	s.replStatus.Store(&fn)
+}
+
+// replStatusNow returns the current replication status and whether a source
+// is installed.
+func (s *Server) replStatusNow() (ReplStatus, bool) {
+	fn := s.replStatus.Load()
+	if fn == nil {
+		return ReplStatus{}, false
+	}
+	return (*fn)(), true
+}
+
+// replSummary is the repl section of /healthz and /v1/refuse.
+func (s *Server) replSummary(st ReplStatus) map[string]any {
+	out := map[string]any{
+		"connected":       st.Connected,
+		"appliedSeq":      st.AppliedSeq,
+		"leaderSeq":       st.LeaderSeq,
+		"lagRecords":      st.LagRecords,
+		"lagSeconds":      st.LagSeconds,
+		"segmentsShipped": st.SegmentsShipped,
+	}
+	if s.cfg.LeaderURL != "" {
+		out["leader"] = s.cfg.LeaderURL
+	}
+	return out
+}
+
+// rejectReadOnly answers a write attempt on a follower with a structured 403
+// naming the leader, so clients can redirect themselves. It lives outside
+// the hot-path handler: rejection is the cold branch and may allocate.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) {
+	out := map[string]any{"error": "read-only follower: send writes to the leader"}
+	if s.cfg.LeaderURL != "" {
+		out["leader"] = s.cfg.LeaderURL
+	}
+	s.writeJSON(w, http.StatusForbidden, out)
+}
+
+// ApplyReplicated applies one verified shipment batch to the follower's
+// store, journal and live scorer — the same path ingest takes, minus the
+// local WAL append (the replication loop appends the shipped lines verbatim
+// afterwards, preserving the store-write-before-log-append ordering that
+// makes truncation safe). Records are applied in order; re-applying a
+// record after a crash-refetch is idempotent (Put merges provenance,
+// Observe tolerates repeats).
+func (s *Server) ApplyReplicated(recs []wal.Record) error {
+	if !s.cfg.ReadOnly {
+		return fmt.Errorf("serve: ApplyReplicated on a non-follower server")
+	}
+	for _, r := range recs {
+		t := triple.Triple{Subject: r.Subject, Predicate: r.Predicate, Object: r.Object}
+		s.store.Put(store.Entry{Triple: t, Sources: []string{r.Source}, Label: r.Label})
+		s.m.observations.Add(1)
+		s.live.Lock()
+		s.live.journal = append(s.live.journal, observation{source: r.Source, t: t})
+		if s.live.inc != nil {
+			if sid, known := s.live.data.SourceID(r.Source); known {
+				if _, err := s.live.inc.Observe(sid, t); err != nil {
+					// Same degradation as a failed journal replay: the store
+					// holds the record, batch rebuilds stay correct, live
+					// scoring turns off until the next rebuild reseeds it.
+					s.live.inc = nil
+					s.logf("serve: repl: live scorer failed applying seq %d, serving batch results only: %v", r.Seq, err)
+				}
+			} else {
+				s.live.unknown[r.Source] = true
+			}
+		}
+		s.live.Unlock()
+	}
+	return nil
+}
+
+// CoveredSeq reports a WAL sequence S such that a snapshot written by
+// WriteSnapshot afterwards contains every record <= S: ingest writes the
+// store before appending to the log, so everything at or below the current
+// head is already applied. The leader's bootstrap endpoint captures this
+// BEFORE streaming the store.
+func (s *Server) CoveredSeq() uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.Seq()
+}
+
+// WriteSnapshot streams the store as JSONL for follower bootstrap.
+func (s *Server) WriteSnapshot(w io.Writer) error {
+	return s.store.Write(w)
+}
+
+// WAL returns the server's write-ahead log (nil without Config.WALDir) —
+// the replication leader ships from it, and a follower's fetch loop appends
+// shipped lines to it.
+func (s *Server) WAL() *wal.WAL {
+	return s.wal
+}

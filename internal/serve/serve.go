@@ -122,6 +122,24 @@ type Config struct {
 	// WALSegmentBytes rotates WAL segments past this size (default 4 MiB).
 	WALSegmentBytes int64
 
+	// WALRetainSegments keeps the newest N snapshot-covered WAL segments
+	// across truncation instead of deleting them all. A replication leader
+	// sets it so a briefly-lagging follower can still fetch recent history
+	// instead of being forced into a full re-bootstrap (HTTP 410). 0 (the
+	// default) truncates everything the snapshot covers.
+	WALRetainSegments int
+
+	// ReadOnly makes the server a replication follower: /v1/observe is
+	// refused with a structured 403 pointing at LeaderURL, and ingestion
+	// happens exclusively through ApplyReplicated. The read endpoints
+	// (/v1/triple, /v1/subject, /v1/source, /v1/score) and /v1/refuse
+	// (a local re-fusion of replicated data) serve normally.
+	ReadOnly bool
+
+	// LeaderURL names the leader a ReadOnly follower replicates from; it
+	// is included in write-rejection errors and health output.
+	LeaderURL string
+
 	// Logf receives operational log lines. Nil silences logging.
 	Logf func(format string, args ...any)
 
@@ -308,6 +326,11 @@ type Server struct {
 	// Ingests append to it before they are acknowledged; persist()
 	// truncates the segments each saved snapshot covers.
 	wal *wal.WAL
+
+	// replStatus, when set (followers only), reports the replication
+	// position for /healthz, /v1/refuse and the corrfused_repl_* metric
+	// families (which are suppressed while it is nil).
+	replStatus atomic.Pointer[replStatusFn]
 	// walRecovered is the number of acknowledged observations New replayed
 	// from the WAL into the store at startup (crash recovery).
 	walRecovered int
@@ -397,9 +420,11 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		// snapshot already scores the recovered claims; replaying a record
 		// the store does cover is a no-op (Put merges provenance).
 		walOpts := wal.Options{
-			Sync:         cfg.WALSync,
-			SyncInterval: cfg.WALSyncInterval,
-			SegmentBytes: cfg.WALSegmentBytes,
+			Sync:           cfg.WALSync,
+			SyncInterval:   cfg.WALSyncInterval,
+			SegmentBytes:   cfg.WALSegmentBytes,
+			RetainSegments: cfg.WALRetainSegments,
+			Logf:           s.logf,
 			// Always hooked (not only when instrumented): commit waits are
 			// one of the load shedder's pressure signals.
 			OnCommitWait: s.onCommitWait,

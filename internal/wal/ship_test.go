@@ -1,0 +1,319 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corruptSegment rewrites seg through fn — the hand-corruption helper for
+// replay regression tests.
+func corruptSegment(t *testing.T, seg string, fn func([]byte) []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, fn(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlankLineMidLogRejected: a zero-length line between records is
+// corruption, not a torn tail — replay must fail loudly instead of silently
+// skipping it (the pre-replication behavior this test pins down).
+func TestBlankLineMidLogRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir, Options{})
+	for i := 0; i < 4; i++ {
+		appendCommit(t, w, rec(i))
+	}
+	w.Close()
+	seg := lastSegment(t, dir)
+	corruptSegment(t, seg, func(raw []byte) []byte {
+		lines := strings.SplitAfter(string(raw), "\n")
+		// Inject a blank line between the second and third records.
+		return []byte(lines[0] + lines[1] + "\n" + strings.Join(lines[2:], ""))
+	})
+	_, _, err := Open(dir, Options{})
+	if err == nil {
+		t.Fatal("Open replayed past a blank line mid-log")
+	}
+	if !strings.Contains(err.Error(), "blank line") {
+		t.Fatalf("error does not name the blank line: %v", err)
+	}
+}
+
+// TestBlankLineMidEarlierSegmentRejected: same corruption in a non-final
+// segment — also an error (only the last segment has a torn tail to excuse).
+func TestBlankLineMidEarlierSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir, Options{SegmentBytes: 1}) // rotate every append
+	for i := 0; i < 4; i++ {
+		appendCommit(t, w, rec(i))
+	}
+	w.Close()
+	paths, _ := filepath.Glob(filepath.Join(dir, "wal-*.jsonl"))
+	if len(paths) < 3 {
+		t.Fatalf("expected several segments, got %v", paths)
+	}
+	corruptSegment(t, paths[1], func(raw []byte) []byte {
+		return append([]byte("\n"), raw...)
+	})
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a blank line in a non-final segment")
+	}
+}
+
+// TestBlankTailTrimmed: a blank line that IS the torn tail of the last
+// segment (nothing after it) is trimmed like any other torn tail.
+func TestBlankTailTrimmed(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		appendCommit(t, w, rec(i))
+	}
+	w.Close()
+	corruptSegment(t, lastSegment(t, dir), func(raw []byte) []byte {
+		return append(raw, '\n')
+	})
+	w2, recs := mustOpen(t, dir, Options{})
+	defer w2.Close()
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3 (blank tail should be trimmed)", len(recs))
+	}
+}
+
+// shipAll drains a leader's log from seq 1 in small batches, re-verifying
+// each shipment, and returns the raw lines and decoded records.
+func shipAll(t *testing.T, w *WAL, maxBytes int64) ([][]byte, []Record) {
+	t.Helper()
+	var raws [][]byte
+	var recs []Record
+	from := uint64(1)
+	for {
+		sh, err := w.ReadFrom(from, maxBytes)
+		if err != nil {
+			t.Fatalf("ReadFrom(%d): %v", from, err)
+		}
+		if sh.Last < sh.First {
+			return raws, recs
+		}
+		r, rs, err := SplitShipment(sh.Lines, sh.First)
+		if err != nil {
+			t.Fatalf("SplitShipment: %v", err)
+		}
+		raws = append(raws, r...)
+		recs = append(recs, rs...)
+		from = sh.Last + 1
+	}
+}
+
+// TestShipRoundTrip: lines read by ReadFrom and appended verbatim with
+// AppendShipped produce a follower log that replays to the exact same
+// records — across leader-side segment rotation and in multiple batches.
+func TestShipRoundTrip(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	leader, _ := mustOpen(t, leaderDir, Options{SegmentBytes: 256})
+	const n = 20
+	for i := 0; i < n; i++ {
+		appendCommit(t, leader, rec(i))
+	}
+	raws, shipped := shipAll(t, leader, 512) // force multiple batches
+	leader.Close()
+	if len(shipped) != n {
+		t.Fatalf("shipped %d records, want %d", len(shipped), n)
+	}
+
+	follower, _ := mustOpen(t, followerDir, Options{SegmentBytes: 256})
+	for i, raw := range raws {
+		seq, err := follower.AppendShipped(raw)
+		if err != nil {
+			t.Fatalf("AppendShipped %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("AppendShipped %d returned seq %d", i, seq)
+		}
+	}
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, replayed := mustOpen(t, followerDir, Options{})
+	if len(replayed) != n {
+		t.Fatalf("follower replayed %d records, want %d", len(replayed), n)
+	}
+	for i := range replayed {
+		if replayed[i] != shipped[i] {
+			t.Fatalf("record %d diverged: follower %+v, leader %+v", i, replayed[i], shipped[i])
+		}
+	}
+}
+
+// TestShipDurableCap: records not yet covered by an fsync must never ship —
+// a leader crash could reassign their sequence numbers.
+func TestShipDurableCap(t *testing.T) {
+	w, _ := mustOpen(t, t.TempDir(), Options{Sync: SyncOff})
+	defer w.Close()
+	appendCommit(t, w, rec(0)) // SyncOff Commit leaves durability at the last real fsync
+	if _, err := w.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil { // seqs 1-2 durable now
+		t.Fatal(err)
+	}
+	if _, err := w.Append(rec(2)); err != nil { // seq 3: flushed maybe, never synced
+		t.Fatal(err)
+	}
+	sh, err := w.ReadFrom(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Last != 2 {
+		t.Fatalf("shipment reached seq %d, want durable cap 2", sh.Last)
+	}
+	if sh.HeadSeq != 3 || sh.DurableSeq != 2 {
+		t.Fatalf("watermarks HeadSeq=%d DurableSeq=%d, want 3 and 2", sh.HeadSeq, sh.DurableSeq)
+	}
+}
+
+// TestShipTruncated: asking for history removed by TruncateThrough yields
+// *TruncatedError naming the earliest retained seq, and shipping resumes
+// cleanly from there.
+func TestShipTruncated(t *testing.T) {
+	w, _ := mustOpen(t, t.TempDir(), Options{SegmentBytes: 1})
+	defer w.Close()
+	for i := 0; i < 6; i++ {
+		appendCommit(t, w, rec(i))
+	}
+	if err := w.TruncateThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	_, err := w.ReadFrom(2, 0)
+	var te *TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("ReadFrom(2) after TruncateThrough(4): err=%v, want *TruncatedError", err)
+	}
+	if te.Earliest != 5 {
+		t.Fatalf("TruncatedError.Earliest = %d, want 5", te.Earliest)
+	}
+	sh, err := w.ReadFrom(te.Earliest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.First != 5 || sh.Last != 6 {
+		t.Fatalf("resume shipment [%d,%d], want [5,6]", sh.First, sh.Last)
+	}
+}
+
+// TestShipRejectsTamperedLines: follower-side verification — a flipped bit,
+// a blank line, or a sequence gap in a shipment must be rejected by both
+// SplitShipment and AppendShipped.
+func TestShipRejectsTamperedLines(t *testing.T) {
+	w, _ := mustOpen(t, t.TempDir(), Options{})
+	appendCommit(t, w, rec(0))
+	appendCommit(t, w, rec(1))
+	sh, err := w.ReadFrom(1, 0)
+	w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tampered := append([]byte(nil), sh.Lines...)
+	tampered[len(tampered)/2] ^= 0x40
+	if _, _, err := SplitShipment(tampered, sh.First); err == nil {
+		t.Fatal("SplitShipment accepted a flipped bit")
+	}
+
+	blank := append([]byte("\n"), sh.Lines...)
+	if _, _, err := SplitShipment(blank, sh.First); err == nil {
+		t.Fatal("SplitShipment accepted a blank line")
+	}
+
+	raws, _, err := SplitShipment(sh.Lines, sh.First)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, _ := mustOpen(t, t.TempDir(), Options{})
+	defer follower.Close()
+	if _, err := follower.AppendShipped(raws[1]); err == nil {
+		t.Fatal("AppendShipped accepted a gap (seq 2 onto an empty log)")
+	}
+	if _, err := follower.AppendShipped(nil); err == nil {
+		t.Fatal("AppendShipped accepted a blank line")
+	}
+	if _, err := follower.AppendShipped(raws[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := follower.AppendShipped(raws[0]); err == nil {
+		t.Fatal("AppendShipped accepted a duplicate seq")
+	}
+}
+
+// TestRetainSegments: with RetainSegments set, TruncateThrough keeps the
+// newest N covered segments on disk for followers to catch up from, and
+// ReadFrom can still serve them.
+func TestRetainSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir, Options{SegmentBytes: 1, RetainSegments: 2})
+	defer w.Close()
+	const n = 8
+	for i := 0; i < n; i++ {
+		appendCommit(t, w, rec(i))
+	}
+	if err := w.TruncateThrough(n); err != nil {
+		t.Fatal(err)
+	}
+	// The two newest covered, non-empty segments (seqs 7 and 8) survive.
+	sh, err := w.ReadFrom(7, 0)
+	if err != nil {
+		t.Fatalf("ReadFrom(7) after retained truncate: %v", err)
+	}
+	if sh.First != 7 || sh.Last != 8 {
+		t.Fatalf("retained shipment [%d,%d], want [7,8]", sh.First, sh.Last)
+	}
+	var te *TruncatedError
+	if _, err := w.ReadFrom(1, 0); !errors.As(err, &te) {
+		t.Fatalf("seqs beyond the retention window should be truncated, got %v", err)
+	}
+	// Replay agrees with the retention window, and a restart converges.
+	_, recs := mustOpenSecond(t, dir)
+	if len(recs) != 2 || recs[0].Seq != 7 {
+		t.Fatalf("retained replay %+v, want seqs 7-8", recs)
+	}
+}
+
+// TestWriteBootstrapSegment: the empty marker pins a fresh log to the first
+// uncovered seq, so the first shipped record continues it without a gap —
+// and bootstrap refuses a directory that already has history.
+func TestWriteBootstrapSegment(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteBootstrapSegment(dir, 43); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBootstrapSegment(dir, 43); err == nil {
+		t.Fatal("bootstrap overwrote an existing log")
+	}
+	w, recs := mustOpen(t, dir, Options{})
+	defer w.Close()
+	if len(recs) != 0 {
+		t.Fatalf("bootstrap marker replayed records: %+v", recs)
+	}
+	if got := w.Seq(); got != 42 {
+		t.Fatalf("bootstrapped Seq() = %d, want 42", got)
+	}
+	seq, err := w.Append(rec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 43 {
+		t.Fatalf("first append after bootstrap got seq %d, want 43", seq)
+	}
+	if err := WriteBootstrapSegment(dir, 1); err == nil {
+		t.Fatal("bootstrap ignored existing segments")
+	}
+	if err := WriteBootstrapSegment(t.TempDir(), 0); err == nil {
+		t.Fatal("bootstrap accepted seq 0")
+	}
+}

@@ -21,16 +21,17 @@ package wal
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +93,19 @@ type Options struct {
 	// attributing ingest tail latency to fsync stalls; implementations
 	// must be cheap and non-blocking (e.g. a histogram observation).
 	OnCommitWait func(time.Duration)
+
+	// RetainSegments keeps up to this many newest fully-covered segments
+	// alive across TruncateThrough calls instead of deleting them all.
+	// Retained segments cost idempotent replay on the next Open and disk
+	// space, and buy replication history: a follower that reconnects after
+	// missing a truncation can still fetch the covered suffix via ReadFrom
+	// instead of needing a full snapshot re-bootstrap. 0 (the default)
+	// truncates everything a snapshot covers, the pre-replication behavior.
+	RetainSegments int
+
+	// Logf receives operational log lines (ignored leftover files found by
+	// Open, and nothing on the hot path). Nil silences them.
+	Logf func(format string, args ...any)
 }
 
 // Stats is a point-in-time snapshot of the log's state.
@@ -113,6 +127,10 @@ type Stats struct {
 	LastGroupCommit uint64
 	// Recovered is the number of records Open replayed.
 	Recovered int
+	// IgnoredFiles is the number of non-segment files Open found (and
+	// loudly ignored) in the log directory — typically .tmp leftovers from
+	// a segment creation or download that crashed mid-write.
+	IgnoredFiles int
 }
 
 // segment is a closed (no longer written) segment file.
@@ -155,7 +173,8 @@ type WAL struct {
 	closeOnce sync.Once
 	closeErr  error
 
-	recovered int
+	recovered    int
+	ignoredFiles int
 
 	// syncFile is the fsync implementation, injectable by tests (e.g. to
 	// slow it down and prove commits coalesce).
@@ -193,9 +212,25 @@ func Open(dir string, opts Options) (*WAL, []Record, error) {
 	}
 	w.dcond = sync.NewCond(&w.dmu)
 
-	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.jsonl"))
+	// Strict directory scan instead of a glob: only exact segment names
+	// (wal-<digits>.jsonl, as segmentPath writes them) replay. Anything
+	// else — .tmp leftovers from a segment creation or download that
+	// crashed mid-write, stray files — is ignored LOUDLY (logged and
+	// counted in Stats.IgnoredFiles), never replayed as garbage and never
+	// allowed to wedge recovery.
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && isSegmentName(name) {
+			paths = append(paths, filepath.Join(dir, name))
+			continue
+		}
+		w.ignoredFiles++
+		w.logf("wal: ignoring non-segment entry %s in log directory (leftover from an interrupted write?)", name)
 	}
 	sort.Strings(paths) // zero-padded first-seq names sort chronologically
 
@@ -276,51 +311,76 @@ func Open(dir string, opts Options) (*WAL, []Record, error) {
 	return w, records, nil
 }
 
-// readSegment replays one segment file. next is the expected sequence
-// number of its first record (0 = accept any); last marks the final
-// segment, whose tail may be torn. It returns the records, the byte offset
-// just past the last good record, and the file size. A record is good only
-// if it parses, its CRC matches AND its newline terminator made it to disk
-// — a newline-less tail is torn even when the bytes so far parse, because
-// appending to it would glue two records into one corrupt line.
+// readSegment replays one segment file through a streaming reader — O(line)
+// memory, not O(segment), which matters once replication retains more
+// segments and a follower bootstraps through the whole log. next is the
+// expected sequence number of its first record (0 = accept any); last marks
+// the final segment, whose tail may be torn. It returns the records, the
+// byte offset just past the last good record, and the file size. A record
+// is good only if it parses, its CRC matches AND its newline terminator
+// made it to disk — a newline-less tail is torn even when the bytes so far
+// parse, because appending to it would glue two records into one corrupt
+// line.
+//
+// A blank line is corruption, not a tear: the writer emits a record's
+// newline as the LAST byte of its line, so no crash point can produce a
+// lone newline with data after it. Blank lines therefore fail loudly
+// everywhere except one spot — a blank line that IS the torn tail of the
+// last segment (nothing after it), which is trimmed like any other tear.
 func readSegment(path string, next uint64, last bool) (recs []Record, good, size int64, err error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("wal: %w", err)
 	}
-	size = int64(len(data))
-	offset := 0
-	line := 0
-	for offset < len(data) {
-		nl := bytes.IndexByte(data[offset:], '\n')
-		if nl < 0 {
-			if last {
-				return recs, int64(offset), size, nil
-			}
-			return nil, 0, 0, fmt.Errorf("wal: %s: record without newline terminator mid-log", path)
-		}
-		raw := data[offset : offset+nl]
-		line++
-		if len(raw) > 0 {
-			var env envelope
-			rec, perr := decodeLine(raw, &env)
-			if perr != nil {
-				if last {
-					// Torn tail from a crash mid-append: everything after
-					// the tear was written later and is equally suspect.
-					return recs, int64(offset), size, nil
-				}
-				return nil, 0, 0, fmt.Errorf("wal: %s line %d: %w", path, line, perr)
-			}
-			if next != 0 && rec.Seq != next {
-				return nil, 0, 0, fmt.Errorf("wal: %s line %d: sequence %d, want %d (gap or reordering)", path, line, rec.Seq, next)
-			}
-			next = rec.Seq + 1
-			recs = append(recs, rec)
-		}
-		offset += nl + 1
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: %w", err)
 	}
-	return recs, int64(offset), size, nil
+	size = fi.Size()
+	br := bufio.NewReaderSize(f, 64<<10)
+	var offset int64
+	line := 0
+	var env envelope
+	for offset < size {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil {
+			if rerr == io.EOF {
+				if last {
+					return recs, offset, size, nil
+				}
+				return nil, 0, 0, fmt.Errorf("wal: %s: record without newline terminator mid-log", path)
+			}
+			return nil, 0, 0, fmt.Errorf("wal: %s: %w", path, rerr)
+		}
+		line++
+		lineLen := int64(len(raw))
+		raw = raw[:len(raw)-1] // drop the terminator
+		if len(raw) == 0 {
+			if last && offset+lineLen == size {
+				// The blank line is the file's final content: trim it as a
+				// torn tail so replay resumes on a clean boundary.
+				return recs, offset, size, nil
+			}
+			return nil, 0, 0, fmt.Errorf("wal: %s line %d: blank line mid-log (corruption, not a torn tail)", path, line)
+		}
+		rec, perr := decodeLine(raw, &env)
+		if perr != nil {
+			if last {
+				// Torn tail from a crash mid-append: everything after
+				// the tear was written later and is equally suspect.
+				return recs, offset, size, nil
+			}
+			return nil, 0, 0, fmt.Errorf("wal: %s line %d: %w", path, line, perr)
+		}
+		if next != 0 && rec.Seq != next {
+			return nil, 0, 0, fmt.Errorf("wal: %s line %d: sequence %d, want %d (gap or reordering)", path, line, rec.Seq, next)
+		}
+		next = rec.Seq + 1
+		recs = append(recs, rec)
+		offset += lineLen
+	}
+	return recs, offset, size, nil
 }
 
 // decodeLine parses and verifies one JSONL envelope.
@@ -343,7 +403,40 @@ func decodeLine(raw []byte, env *envelope) (Record, error) {
 
 // segmentPath names a segment by the first sequence number it will hold.
 func (w *WAL) segmentPath(first uint64) string {
-	return filepath.Join(w.dir, fmt.Sprintf("wal-%016d.jsonl", first))
+	return segmentFile(w.dir, first)
+}
+
+// segmentFile is segmentPath without a WAL: the canonical segment name for
+// a directory, shared with WriteBootstrapSegment.
+func segmentFile(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.jsonl", first))
+}
+
+// isSegmentName reports whether name is exactly a segment file name as
+// segmentFile produces them: wal-<digits>.jsonl, nothing more. Open replays
+// only matching files; everything else in the directory is ignored loudly.
+func isSegmentName(name string) bool {
+	const pre, suf = "wal-", ".jsonl"
+	if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+		return false
+	}
+	mid := name[len(pre) : len(name)-len(suf)]
+	if mid == "" {
+		return false
+	}
+	for i := 0; i < len(mid); i++ {
+		if mid[i] < '0' || mid[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// logf emits one operational log line through Options.Logf (silent when nil).
+func (w *WAL) logf(format string, args ...any) {
+	if w.opts.Logf != nil {
+		w.opts.Logf(format, args...)
+	}
 }
 
 // parseSegmentFirst recovers the first sequence number a segment was named
@@ -358,13 +451,25 @@ func parseSegmentFirst(path string) (uint64, error) {
 }
 
 // createSegment opens a fresh segment for the next record and fsyncs the
-// directory so the new name survives a crash. Callers hold mu (or are
-// single-threaded in Open).
+// directory so the new name survives a crash. The file is created under a
+// .tmp name and renamed into place: a crash mid-creation then leaves a
+// leftover Open ignores loudly instead of a file the segment scan would
+// pick up — the same discipline follower segment downloads use, so a
+// partially-written file can never enter the replayed set. Callers hold mu
+// (or are single-threaded in Open).
 func (w *WAL) createSegment() error {
 	first := w.seq + 1
 	path := w.segmentPath(first)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
 	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		//lint:ignore errswallow cleanup on the error path; the rename error is returned
+		f.Close()
+		//lint:ignore errswallow best-effort removal of the orphaned temp file
+		os.Remove(tmp)
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := syncDir(w.dir); err != nil {
@@ -630,7 +735,10 @@ func (w *WAL) Seq() uint64 {
 // TruncateThrough deletes the segments whose records a newer snapshot fully
 // covers (every record seq'd at or below seq). The open segment is rotated
 // first if it is fully covered too, so a snapshot taken at the log head
-// empties the log. Records above seq are always retained.
+// empties the log. Records above seq are always retained, and so are the
+// newest Options.RetainSegments covered segments — replication history a
+// lagging follower can still fetch (see ReadFrom) at the cost of idempotent
+// replay on the next Open.
 func (w *WAL) TruncateThrough(seq uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -646,12 +754,19 @@ func (w *WAL) TruncateThrough(seq uint64) error {
 	// segment must survive too, or the log would recover with a mid-log
 	// sequence gap and refuse to open. A retained covered segment only
 	// costs idempotent replay; a gap is fatal.
+	covered := 0
+	for _, sg := range w.segs {
+		if sg.last > seq { // holds for empty markers too (first > last)
+			break
+		}
+		covered++
+	}
+	limit := covered - w.opts.RetainSegments
 	removed := false
 	var firstErr error
 	drop := 0
-	for _, sg := range w.segs {
-		covered := sg.last <= seq // holds for empty markers too (first > last)
-		if !covered {
+	for _, sg := range w.segs[:covered] {
+		if drop >= limit {
 			break
 		}
 		if err := os.Remove(sg.path); err != nil {
@@ -682,10 +797,11 @@ func (w *WAL) Sync() error {
 func (w *WAL) Stats() Stats {
 	w.mu.Lock()
 	st := Stats{
-		Seq:       w.seq,
-		Segments:  len(w.segs) + 1,
-		Bytes:     w.segBytes,
-		Recovered: w.recovered,
+		Seq:          w.seq,
+		Segments:     len(w.segs) + 1,
+		Bytes:        w.segBytes,
+		Recovered:    w.recovered,
+		IgnoredFiles: w.ignoredFiles,
 	}
 	for _, sg := range w.segs {
 		st.Bytes += sg.bytes

@@ -451,15 +451,45 @@ func TestSeqSurvivesTruncateAndReopen(t *testing.T) {
 	}
 }
 
-// TestForeignSegmentNameRejected: a wal-*.jsonl file whose name carries no
-// sequence number cannot pin the log position — Open must refuse it.
-func TestForeignSegmentNameRejected(t *testing.T) {
+// TestForeignSegmentNameIgnoredLoudly: a wal-*.jsonl file whose name carries
+// no sequence number cannot pin the log position — Open must skip it without
+// replaying it, and must say so (log line + IgnoredFiles stat) instead of
+// failing the whole log or silently replaying garbage.
+func TestForeignSegmentNameIgnoredLoudly(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "wal-backup.jsonl"), nil, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "wal-backup.jsonl"), []byte("garbage\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Open(dir, Options{}); err == nil {
-		t.Fatal("Open accepted an unparseable empty segment name")
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000042.jsonl.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	w, recs, err := Open(dir, Options{Logf: func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(recs) != 0 {
+		t.Fatalf("foreign files replayed as records: %+v", recs)
+	}
+	if got := w.Stats().IgnoredFiles; got != 2 {
+		t.Fatalf("IgnoredFiles = %d, want 2", got)
+	}
+	if len(logged) != 2 {
+		t.Fatalf("ignored files logged %d times, want 2: %q", len(logged), logged)
+	}
+	for _, line := range logged {
+		if !strings.Contains(line, "ignoring") {
+			t.Fatalf("log line does not announce the ignore: %q", line)
+		}
+	}
+	// The foreign files must survive untouched for operator inspection.
+	for _, name := range []string{"wal-backup.jsonl", "wal-0000000000000042.jsonl.tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("ignored file %s disturbed: %v", name, err)
+		}
 	}
 }
 

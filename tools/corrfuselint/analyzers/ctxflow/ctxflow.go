@@ -5,7 +5,9 @@
 // TODO()) inside internal/serve or internal/wal silently detaches a
 // call chain from that budget — every legitimate detachment (the
 // background refresher, the coalesced-rebuild work context) must say
-// why with a //lint:ignore.
+// why with a //lint:ignore. internal/repl joined the scope with PR 9:
+// replication long-polls and fetch loops must die with their caller's
+// context, never outlive it.
 package ctxflow
 
 import (
@@ -17,12 +19,12 @@ import (
 
 var Analyzer = &lint.Analyzer{
 	Name: "ctxflow",
-	Doc:  "context.Background()/TODO() inside internal/serve and internal/wal request paths",
+	Doc:  "context.Background()/TODO() inside internal/serve, internal/wal and internal/repl request paths",
 	Run:  run,
 }
 
 // scopes are the package-path fragments the invariant covers.
-var scopes = []string{"internal/serve", "internal/wal"}
+var scopes = []string{"internal/serve", "internal/wal", "internal/repl"}
 
 func run(pass *lint.Pass) error {
 	inScope := false

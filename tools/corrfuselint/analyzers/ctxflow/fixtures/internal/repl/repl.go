@@ -1,0 +1,14 @@
+// Package repl sits on a path containing internal/repl, so ctxflow's
+// scope rule applies: a replication fetch loop or long-poll detached
+// from its caller's context would outlive shutdown.
+package repl
+
+import "context"
+
+func detach() context.Context {
+	return context.Background() // want "context.Background\\(\\) detaches this call chain"
+}
+
+func fetchLoop(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, 0) // threading the caller's ctx: not flagged
+}
