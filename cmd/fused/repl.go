@@ -120,6 +120,7 @@ func startFollower(ctx context.Context, o options, srv *serve.Server, logger *ob
 			SegmentsShipped: st.SegmentsShipped,
 			LagRecords:      st.LagRecords,
 			LagSeconds:      st.LagSeconds,
+			Diverged:        st.Diverged,
 		}
 	})
 	go func() {

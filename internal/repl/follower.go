@@ -31,6 +31,11 @@ type Status struct {
 	// or before first contact).
 	LagRecords uint64
 	LagSeconds float64
+	// Diverged reports the follower holds records the leader's durable
+	// history does not (leader data loss, a wiped leader, an older-backup
+	// restore). It is sticky: fetching stops and reads serve stale until an
+	// operator wipes the follower's state and re-bootstraps it.
+	Diverged bool
 }
 
 // FollowerOptions configures Follower. LeaderURL, WAL and Apply are
@@ -68,6 +73,7 @@ type Follower struct {
 	st       Status
 	lagSince time.Time // zero when caught up
 	lastErr  string
+	diverged bool // sticky: leader's durable history fell below ours
 }
 
 // NewFollower validates options and builds a follower (Run starts it).
@@ -155,9 +161,29 @@ func (f *Follower) Run(ctx context.Context) error {
 // errTruncated marks a 410: the leader no longer has our next record.
 var errTruncated = errors.New("repl: leader truncated our position; wipe the follower state and re-bootstrap")
 
+// errDiverged marks a leader whose durable history ends BELOW our applied
+// position: we hold records the leader never made durable — leader data
+// loss, a wiped leader, or a restore from an older backup. Healthy shipping
+// can never produce this (ReadFrom caps at the leader's durability
+// watermark, which only advances), so treating the leader's caught-up answer
+// as healthy would report connected with lag 0 while the replicas have
+// silently forked. The condition is sticky: the leader may re-append past
+// our position with different data, making later responses look normal, so
+// once seen the follower refuses to fetch until an operator wipes and
+// re-bootstraps it (reads stay up, stale, like a truncation).
+var errDiverged = errors.New("repl: follower is ahead of the leader's durable history (diverged replicas); wipe the follower state and re-bootstrap")
+
 // fetchOnce performs one fetch (long-polling up to wait) and applies its
 // shipment. It returns the number of records applied (0 on a caught-up 204).
 func (f *Follower) fetchOnce(ctx context.Context, wait time.Duration) (int, error) {
+	f.mu.Lock()
+	diverged := f.st.Diverged
+	f.mu.Unlock()
+	if diverged {
+		// Sticky: the leader may since have re-appended past our position
+		// with different data, making fresh responses look healthy again.
+		return 0, errDiverged
+	}
 	from := f.opts.WAL.Seq() + 1
 	u := fmt.Sprintf("%s/repl/wal?from=%d&wait=%g", f.base, from, wait.Seconds())
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
@@ -177,6 +203,14 @@ func (f *Follower) fetchOnce(ctx context.Context, wait time.Duration) (int, erro
 
 	switch resp.StatusCode {
 	case http.StatusNoContent:
+		// A caught-up answer must actually cover our position: every local
+		// record came from the leader's durable history, and the durability
+		// watermark only advances, so a leader whose durable (head as a
+		// fallback) seq sits BELOW our applied seq has lost records we hold.
+		// Reporting connected/lag-0 here would hide a silent fork.
+		if limit, ok := leaderLimit(resp); ok && limit < from-1 {
+			return 0, f.noteDiverged(limit, from-1)
+		}
 		f.noteCaughtUp(headSeq(resp), from-1)
 		return 0, nil
 	case http.StatusGone:
@@ -244,6 +278,21 @@ func headSeq(resp *http.Response) uint64 {
 	return v
 }
 
+// leaderLimit reads the leader's durability watermark from a response,
+// falling back to the head seq, and reports whether either header was
+// present — absence (a proxy error page, an old leader) must not read as
+// seq 0 and trip a false divergence.
+func leaderLimit(resp *http.Response) (uint64, bool) {
+	for _, name := range []string{HdrDurableSeq, HdrHeadSeq} {
+		if s := resp.Header.Get(name); s != "" {
+			if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
 func (f *Follower) noteCaughtUp(leaderSeq, applied uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -265,6 +314,17 @@ func (f *Follower) noteApplied(leaderSeq, applied uint64) {
 		f.st.LeaderSeq = leaderSeq
 	}
 	f.updateLagLocked()
+}
+
+// noteDiverged latches the sticky diverged state and returns errDiverged
+// (Run's error path then marks the link down and keeps serving stale reads).
+func (f *Follower) noteDiverged(leaderLimit, applied uint64) error {
+	f.logf("repl: follower: DIVERGED: local log holds seq %d but the leader's durable history ends at %d; "+
+		"refusing to fetch — wipe this follower's state and re-bootstrap", applied, leaderLimit)
+	f.mu.Lock()
+	f.st.Diverged = true
+	f.mu.Unlock()
+	return errDiverged
 }
 
 func (f *Follower) noteError(err error) {
@@ -335,4 +395,11 @@ func (f *Follower) LastError() string {
 // condition (HTTP 410) that requires an operator re-bootstrap.
 func IsTruncated(err error) bool {
 	return errors.Is(err, errTruncated)
+}
+
+// IsDiverged reports whether err is the follower-ahead-of-leader condition
+// (leader data loss / wipe / older restore) that requires an operator
+// re-bootstrap.
+func IsDiverged(err error) bool {
+	return errors.Is(err, errDiverged)
 }

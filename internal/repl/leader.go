@@ -204,10 +204,25 @@ func (l *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	h := w.Header()
 	h.Set("Content-Type", "application/jsonl")
 	h.Set(HdrCoveredSeq, strconv.FormatUint(covered, 10))
+	// Commit the status and the covered-seq header before streaming: the
+	// follower learns its bootstrap watermark immediately, and a mid-stream
+	// failure below is then unambiguously a body error on its side.
+	if fl, ok := w.(http.Flusher); ok {
+		fl.Flush()
+	}
 	if err := l.opts.WriteSnapshot(w); err != nil {
-		// Headers are gone; the follower detects the truncation by the
-		// missing terminating newline / store parse failure.
 		l.logf("repl: leader: snapshot stream failed mid-body: %v", err)
+		// Headers are gone, so the status can't change — and a store stream
+		// that fails at a line boundary leaves a truncated-but-parseable
+		// body. Returning normally would end the chunked response CLEANLY
+		// and the follower would bootstrap from a partial store with no
+		// error, permanently missing records <= covered. Abort the
+		// connection instead so the follower's download fails loudly —
+		// unless the error IS the client going away, in which case there is
+		// no one left to protect.
+		if r.Context().Err() == nil {
+			panic(http.ErrAbortHandler)
+		}
 	}
 }
 

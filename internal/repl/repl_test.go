@@ -2,6 +2,7 @@ package repl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -345,6 +346,87 @@ func TestSnapshotBootstrap(t *testing.T) {
 	defer sink.mu.Unlock()
 	if sink.recs[0].Seq != 4 || sink.recs[1].Seq != 5 {
 		t.Fatalf("post-bootstrap shipment seqs %d,%d; want 4,5", sink.recs[0].Seq, sink.recs[1].Seq)
+	}
+}
+
+// TestFollowerDetectsDivergedLeader: a follower whose log runs past the
+// leader's durable history (leader data loss, wipe, or older-backup restore)
+// must not read the leader's caught-up 204 as healthy — it latches a sticky
+// diverged state, stops fetching, and keeps serving stale reads.
+func TestFollowerDetectsDivergedLeader(t *testing.T) {
+	lw := mustWAL(t, wal.Options{})
+	for i := 0; i < 2; i++ {
+		appendCommit(t, lw, rec(i))
+	}
+	fw := mustWAL(t, wal.Options{})
+	for i := 0; i < 5; i++ {
+		appendCommit(t, fw, rec(i)) // follower is 3 records ahead
+	}
+	srv := newLeaderServer(t, lw, nil, nil)
+	sink := &applied{}
+	f := newTestFollower(t, srv.URL, fw, sink)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		//lint:ignore errswallow Run only returns ctx.Err(); the test ends via cancel
+		f.Run(ctx)
+	}()
+
+	waitFor(t, "diverged state", func() bool { return f.Status().Diverged })
+	if f.Status().Connected {
+		t.Fatal("diverged follower reports Connected")
+	}
+	if !IsDiverged(errDiverged) || !strings.Contains(f.LastError(), "re-bootstrap") {
+		t.Fatalf("divergence not surfaced as a re-bootstrap error: %q", f.LastError())
+	}
+
+	// Sticky: the leader re-appending past the follower's position (with
+	// what would be different data for the same seqs) must not "heal" the
+	// link — nothing may ever be fetched again.
+	for i := 0; i < 6; i++ {
+		appendCommit(t, lw, rec(100 + i))
+	}
+	time.Sleep(150 * time.Millisecond) // several backoff cycles
+	if sink.len() != 0 {
+		t.Fatalf("diverged follower fetched %d records from the re-grown leader", sink.len())
+	}
+	if st := f.Status(); !st.Diverged || st.Connected {
+		t.Fatalf("diverged state did not stick: %+v", st)
+	}
+}
+
+// TestSnapshotStreamFailureAbortsConnection: a store stream that fails
+// mid-body for a non-network reason must tear the connection down — a
+// cleanly terminated chunked response would hand the follower a
+// truncated-but-parseable store that bootstraps with no error, permanently
+// missing records <= covered.
+func TestSnapshotStreamFailureAbortsConnection(t *testing.T) {
+	lw := mustWAL(t, wal.Options{})
+	appendCommit(t, lw, rec(0))
+	srv := newLeaderServer(t, lw,
+		func(w io.Writer) error {
+			if _, err := io.WriteString(w, "{\"partial\":\"store line\"}\n"); err != nil {
+				return err
+			}
+			return errors.New("store iteration failed")
+		},
+		func() uint64 { return 1 },
+	)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	covered, body, err := Snapshot(ctx, nil, srv.URL)
+	if err != nil {
+		// Headers and the 200 left before the failure, so the call itself
+		// succeeds; the error must surface while reading the body.
+		t.Fatalf("Snapshot: %v", err)
+	}
+	defer body.Close()
+	if covered != 1 {
+		t.Fatalf("covered seq %d, want 1", covered)
+	}
+	if _, err := io.ReadAll(body); err == nil {
+		t.Fatal("truncated snapshot stream read cleanly to EOF; a partial store would bootstrap silently")
 	}
 }
 

@@ -264,6 +264,13 @@ func (s *Server) initObs() {
 		func(st ReplStatus) float64 { return float64(st.LeaderSeq) })
 	replMetric("corrfused_repl_segments_shipped_total", "Shipment batches fetched from the leader and applied.", "counter",
 		func(st ReplStatus) float64 { return float64(st.SegmentsShipped) })
+	replMetric("corrfused_repl_diverged", "1 while this follower holds records outside the leader's durable history and needs an operator re-bootstrap.", "gauge",
+		func(st ReplStatus) float64 {
+			if st.Diverged {
+				return 1
+			}
+			return 0
+		})
 
 	r.GaugeFunc("corrfused_shards", "Shards of the live batch model (1 = monolithic).",
 		snap(func(sn *snapshot) float64 {

@@ -32,6 +32,10 @@ type ReplStatus struct {
 	// follower trails the leader (both 0 when caught up).
 	LagRecords uint64
 	LagSeconds float64
+	// Diverged reports the follower holds records outside the leader's
+	// durable history; fetching has stopped until an operator wipes the
+	// follower's state and re-bootstraps it.
+	Diverged bool
 }
 
 type replStatusFn func() ReplStatus
@@ -67,6 +71,7 @@ func (s *Server) replSummary(st ReplStatus) map[string]any {
 		"lagRecords":      st.LagRecords,
 		"lagSeconds":      st.LagSeconds,
 		"segmentsShipped": st.SegmentsShipped,
+		"diverged":        st.Diverged,
 	}
 	if s.cfg.LeaderURL != "" {
 		out["leader"] = s.cfg.LeaderURL
@@ -125,11 +130,21 @@ func (s *Server) ApplyReplicated(recs []wal.Record) error {
 // store before appending to the log, so everything at or below the current
 // head is already applied. The leader's bootstrap endpoint captures this
 // BEFORE streaming the store.
+//
+// S is the DURABILITY watermark, not the head: records appended but not yet
+// fsynced would be lost by a leader crash, and the crashed leader would
+// reassign their sequence numbers to different data. A follower bootstrapped
+// with covered = head would then keep the lost records and resume at
+// covered+1 with perfect seq continuity — a silent permanent fork, the exact
+// failure ReadFrom's durable cap exists to prevent. durable <= head and
+// everything <= head is in the store, so the snapshot still contains every
+// record <= covered; the extra records beyond covered are re-applied
+// idempotently when shipping resumes.
 func (s *Server) CoveredSeq() uint64 {
 	if s.wal == nil {
 		return 0
 	}
-	return s.wal.Seq()
+	return s.wal.Stats().DurableSeq
 }
 
 // WriteSnapshot streams the store as JSONL for follower bootstrap.

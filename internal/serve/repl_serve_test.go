@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"corrfuse/internal/wal"
 )
@@ -121,6 +122,41 @@ func TestApplyReplicated(t *testing.T) {
 	}
 }
 
+// TestCoveredSeqIsDurableWatermark: the bootstrap watermark is the WAL's
+// durability watermark, not its head. A snapshot served while records sit
+// appended-but-unfsynced would otherwise pin a bootstrapped follower past
+// sequence numbers a crashed leader restarts below and reassigns to
+// different data — a silent permanent fork with perfect seq continuity.
+func TestCoveredSeqIsDurableWatermark(t *testing.T) {
+	dir := t.TempDir()
+	cfg := walConfig(dir)
+	cfg.WALSync = wal.SyncInterval
+	cfg.WALSyncInterval = time.Hour // no fsync fires during the test window
+	srv := newServer(t, seedStore(t), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, subj := range []string{"cov1", "cov2", "cov3"} {
+		if _, code := postObserve(t, ts.URL, Observation{Source: "good1", Subject: subj, Predicate: "p", Object: "v"}); code != http.StatusOK {
+			t.Fatalf("observe %s: %d", subj, code)
+		}
+	}
+	st := srv.wal.Stats()
+	if st.Seq != 3 || st.DurableSeq != 0 {
+		t.Fatalf("precondition: head=%d durable=%d, want 3 appended-but-unfsynced records", st.Seq, st.DurableSeq)
+	}
+	if got := srv.CoveredSeq(); got != 0 {
+		t.Fatalf("CoveredSeq() = %d, covering records no fsync protects (head %d)", got, st.Seq)
+	}
+	// Once the records are durable, the watermark follows.
+	if err := srv.wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.CoveredSeq(); got != 3 {
+		t.Fatalf("CoveredSeq() after Sync = %d, want 3", got)
+	}
+}
+
 // TestReplStatusSurfaced: installing a status source activates the repl
 // sections of /healthz and /v1/refuse and the corrfused_repl_* families;
 // before installation the families are absent entirely.
@@ -137,7 +173,7 @@ func TestReplStatusSurfaced(t *testing.T) {
 	}
 
 	srv.SetReplStatus(func() ReplStatus {
-		return ReplStatus{Connected: true, AppliedSeq: 41, LeaderSeq: 44, LagRecords: 3, LagSeconds: 1.5, SegmentsShipped: 7}
+		return ReplStatus{Connected: true, AppliedSeq: 41, LeaderSeq: 44, LagRecords: 3, LagSeconds: 1.5, SegmentsShipped: 7, Diverged: true}
 	})
 
 	var health struct {
@@ -148,6 +184,7 @@ func TestReplStatusSurfaced(t *testing.T) {
 			LagRecords      uint64  `json:"lagRecords"`
 			LagSeconds      float64 `json:"lagSeconds"`
 			SegmentsShipped uint64  `json:"segmentsShipped"`
+			Diverged        bool    `json:"diverged"`
 			Leader          string  `json:"leader"`
 		} `json:"repl"`
 	}
@@ -159,7 +196,8 @@ func TestReplStatusSurfaced(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !health.Repl.Connected || health.Repl.LagRecords != 3 || health.Repl.Leader != cfg.LeaderURL ||
-		health.Repl.AppliedSeq != 41 || health.Repl.LeaderSeq != 44 || health.Repl.SegmentsShipped != 7 {
+		health.Repl.AppliedSeq != 41 || health.Repl.LeaderSeq != 44 || health.Repl.SegmentsShipped != 7 ||
+		!health.Repl.Diverged {
 		t.Fatalf("healthz repl section wrong: %+v", health.Repl)
 	}
 
@@ -177,6 +215,7 @@ func TestReplStatusSurfaced(t *testing.T) {
 		"corrfused_repl_applied_seq 41",
 		"corrfused_repl_leader_seq 44",
 		"corrfused_repl_segments_shipped_total 7",
+		"corrfused_repl_diverged 1",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("metrics missing %q", want)

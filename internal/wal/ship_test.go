@@ -284,6 +284,49 @@ func TestRetainSegments(t *testing.T) {
 	}
 }
 
+// TestRetainSegmentsIgnoresEmptyMarkers: the retention quota counts only
+// segments that actually hold records. A zero-record marker (first > last)
+// in the covered prefix must not consume a retained slot — that would
+// silently shrink the shipped-history window below RetainSegments. Today's
+// append/rotate paths never close an empty segment, so the marker is
+// fabricated directly (white box) to pin the arithmetic down.
+func TestRetainSegmentsIgnoresEmptyMarkers(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir, Options{SegmentBytes: 1, RetainSegments: 2})
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		appendCommit(t, w, rec(i)) // closed [1,1]..[4,4], open wal-5 holds 5
+	}
+	marker := filepath.Join(dir, "wal-empty-marker")
+	if err := os.WriteFile(marker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	w.segs = append(w.segs, segment{path: marker, first: 5, last: 4})
+	w.mu.Unlock()
+
+	if err := w.TruncateThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	// The two newest NON-EMPTY covered segments (seqs 3 and 4) survive; with
+	// the marker spending a slot, seq 3 would already be gone.
+	sh, err := w.ReadFrom(3, 0)
+	if err != nil {
+		t.Fatalf("ReadFrom(3) after retained truncate: %v", err)
+	}
+	if sh.First != 3 || sh.Last != 5 {
+		t.Fatalf("retained shipment [%d,%d], want [3,5]", sh.First, sh.Last)
+	}
+	var te *TruncatedError
+	if _, err := w.ReadFrom(2, 0); !errors.As(err, &te) {
+		t.Fatalf("seq 2 should be beyond the retention window, got %v", err)
+	}
+	// The marker sits past the removable prefix and survives (contiguity).
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("marker past the retained prefix was removed: %v", err)
+	}
+}
+
 // TestWriteBootstrapSegment: the empty marker pins a fresh log to the first
 // uncovered seq, so the first shipped record continues it without a gap —
 // and bootstrap refuses a directory that already has history.

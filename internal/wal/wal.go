@@ -761,7 +761,25 @@ func (w *WAL) TruncateThrough(seq uint64) error {
 		}
 		covered++
 	}
-	limit := covered - w.opts.RetainSegments
+	// Retention quota: only segments that actually hold records (first <=
+	// last) count toward RetainSegments — an empty rotation/bootstrap marker
+	// buys a reconnecting follower no history, so spending a retained slot
+	// on one would silently shrink the shipped-history window below the
+	// configured size. limit is the length of the removable prefix; markers
+	// inside it go too, markers past it survive (contiguity).
+	limit := covered
+	if quota := w.opts.RetainSegments; quota > 0 {
+		limit = 0
+		nonEmpty := 0
+		for i := covered - 1; i >= 0; i-- {
+			if sg := w.segs[i]; sg.first <= sg.last {
+				if nonEmpty++; nonEmpty == quota {
+					limit = i
+					break
+				}
+			}
+		}
+	}
 	removed := false
 	var firstErr error
 	drop := 0
