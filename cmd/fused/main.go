@@ -127,6 +127,7 @@ type options struct {
 	method    string
 	scope     string
 	persist   string
+	snapshot  string
 
 	alpha     float64
 	smoothing float64
@@ -191,6 +192,7 @@ func main() {
 	flag.Float64Var(&o.smoothing, "smoothing", 0, "add-k smoothing for quality estimation")
 	flag.DurationVar(&o.refresh, "refresh", 30*time.Second, "background re-fusion period (0 disables)")
 	flag.StringVar(&o.persist, "persist", "", "save the store to this path after re-fusions and on shutdown (default: -store path; \"-\" disables)")
+	flag.StringVar(&o.snapshot, "snapshot-format", serve.SnapshotBinary, "cold-start snapshot format maintained next to the JSONL store: binary (mmap-able .cfsn, millisecond restarts) or jsonl (JSONL only)")
 	flag.IntVar(&o.parallelism, "parallelism", 0, "scoring goroutines per batch (0 = GOMAXPROCS)")
 	flag.IntVar(&o.shards, "shards", 1, "subject-hash shards for the batch model (1 = monolithic)")
 	flag.IntVar(&o.rebuildWorkers, "rebuild-workers", 0, "goroutines rebuilding shard models concurrently (0 = GOMAXPROCS)")
@@ -256,15 +258,35 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		}
 	}
 
-	st, err := store.Load(o.storePath)
+	// Cold start: prefer the mmap-able binary snapshot next to the JSONL
+	// store; a missing one quietly parses JSONL, a corrupt one falls back
+	// loudly (the reason lands in the log, /healthz and the
+	// corrfused_snapshot_load_fallback metric).
+	loadStart := time.Now()
+	st, loadInfo, err := store.LoadPreferred(o.storePath)
 	if err != nil {
 		return err
 	}
+	loadDur := time.Since(loadStart)
+	if loadInfo.FallbackReason != "" {
+		logger.Warn(ctx, "binary snapshot rejected, loaded JSONL store",
+			"store", o.storePath, "reason", loadInfo.FallbackReason)
+	}
+	logger.Info(ctx, "store loaded", "store", o.storePath, "format", loadInfo.Format,
+		"bytes", loadInfo.Bytes, "triples", st.Len(), "duration", loadDur.String())
 	if st.Len() == 0 {
 		return fmt.Errorf("store %s is empty", o.storePath)
 	}
 
 	cfg := serve.Config{
+		SnapshotFormat: o.snapshot,
+		SnapshotLoad: &serve.SnapshotLoad{
+			Format:         loadInfo.Format,
+			Bytes:          loadInfo.Bytes,
+			Mapped:         loadInfo.Mapped,
+			Duration:       loadDur,
+			FallbackReason: loadInfo.FallbackReason,
+		},
 		RefreshInterval:        o.refresh,
 		MaxScoreTriples:        o.maxScoreTriples,
 		MaxBodyBytes:           o.maxBodyBytes,

@@ -17,6 +17,7 @@ import (
 	"corrfuse/internal/obs"
 	"corrfuse/internal/repl"
 	"corrfuse/internal/serve"
+	"corrfuse/internal/store"
 	"corrfuse/internal/wal"
 )
 
@@ -89,6 +90,11 @@ func bootstrapFollower(ctx context.Context, o options, logger *obs.Logger) (bool
 		os.Remove(tmp)
 		return false, err
 	}
+	// A binary snapshot left next to the store by a previous run would
+	// shadow the freshly bootstrapped JSONL on load; remove it.
+	if err := os.Remove(store.BinaryPath(o.storePath)); err != nil && !os.IsNotExist(err) {
+		return false, fmt.Errorf("follower bootstrap: removing stale binary snapshot: %w", err)
+	}
 	if err := wal.WriteBootstrapSegment(o.walDir, covered+1); err != nil {
 		return false, fmt.Errorf("follower bootstrap: %w", err)
 	}
@@ -106,7 +112,18 @@ func startFollower(ctx context.Context, o options, srv *serve.Server, logger *ob
 		LeaderURL: o.follow,
 		WAL:       srv.WAL(),
 		Apply:     srv.ApplyReplicated,
-		Logf:      loggerf(ctx, logger),
+		// Automatic 410 recovery: download a fresh snapshot and rebase the
+		// local WAL in place, instead of parking on "operator must wipe and
+		// re-bootstrap" until someone notices the stale follower.
+		Rebootstrap: func(ctx context.Context) error {
+			covered, body, err := repl.Snapshot(ctx, nil, o.follow)
+			if err != nil {
+				return err
+			}
+			defer body.Close()
+			return srv.Rebootstrap(covered, body)
+		},
+		Logf: loggerf(ctx, logger),
 	})
 	if err != nil {
 		return err
@@ -121,6 +138,7 @@ func startFollower(ctx context.Context, o options, srv *serve.Server, logger *ob
 			LagRecords:      st.LagRecords,
 			LagSeconds:      st.LagSeconds,
 			Diverged:        st.Diverged,
+			Rebootstraps:    st.Rebootstraps,
 		}
 	})
 	go func() {

@@ -1,0 +1,603 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"corrfuse/internal/triple"
+)
+
+// ErrTrailing reports a second JSON value (or garbage) after the request
+// document — the serving layer turns it into the same 400 the old
+// json.Decoder-based framing check produced.
+var ErrTrailing = errors.New("trailing data after JSON document")
+
+// SyntaxError is a malformed-body error with the byte offset it was
+// detected at.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("invalid JSON at byte %d: %s", e.Offset, e.Msg)
+}
+
+// maxNestingDepth caps how deep skipped values may nest, mirroring
+// encoding/json's scanner limit so the strict and reflective paths agree
+// on what parses.
+const maxNestingDepth = 10000
+
+// DecodeScoreRequest parses a /v1/score body into req, with
+// encoding/json's field semantics: case-insensitive names, unknown fields
+// skipped, null no-ops, last duplicate wins. A top-level null leaves req
+// untouched. Data after the document returns an error wrapping
+// ErrTrailing.
+func DecodeScoreRequest(data []byte, req *ScoreRequest) error {
+	d := &decodeState{data: data}
+	d.skipSpace()
+	if d.eat('n') {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		return d.trailing()
+	}
+	if err := d.object(func(key []byte) error {
+		if keyIs(key, "triples") {
+			return d.tripleArray(&req.Triples)
+		}
+		return d.skipValue(0)
+	}); err != nil {
+		return err
+	}
+	return d.trailing()
+}
+
+// DecodeObserveRequest parses a /v1/observe body into req (either a
+// single top-level observation, {"observations": [...]}, or — ambiguously
+// — both; the serving layer rejects the ambiguity). Semantics match
+// DecodeScoreRequest.
+func DecodeObserveRequest(data []byte, req *ObserveRequest) error {
+	d := &decodeState{data: data}
+	d.skipSpace()
+	if d.eat('n') {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		return d.trailing()
+	}
+	if err := d.object(func(key []byte) error {
+		switch {
+		case keyIs(key, "source"):
+			return d.stringField(&req.Source)
+		case keyIs(key, "subject"):
+			return d.stringField(&req.Subject)
+		case keyIs(key, "predicate"):
+			return d.stringField(&req.Predicate)
+		case keyIs(key, "object"):
+			return d.stringField(&req.Object)
+		case keyIs(key, "label"):
+			return d.stringField(&req.Label)
+		case keyIs(key, "observations"):
+			return d.observationArray(&req.Observations)
+		}
+		return d.skipValue(0)
+	}); err != nil {
+		return err
+	}
+	return d.trailing()
+}
+
+type decodeState struct {
+	data []byte
+	pos  int
+}
+
+func (d *decodeState) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: d.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (d *decodeState) skipSpace() {
+	for d.pos < len(d.data) {
+		switch d.data[d.pos] {
+		case ' ', '\t', '\n', '\r':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+// eat reports whether the next byte is c without consuming it.
+func (d *decodeState) eat(c byte) bool {
+	return d.pos < len(d.data) && d.data[d.pos] == c
+}
+
+// advance consumes one expected byte.
+func (d *decodeState) advance(c byte) error {
+	if !d.eat(c) {
+		return d.errf("expected %q", string(rune(c)))
+	}
+	d.pos++
+	return nil
+}
+
+// trailing errors unless only whitespace remains.
+func (d *decodeState) trailing() error {
+	d.skipSpace()
+	if d.pos != len(d.data) {
+		return fmt.Errorf("%w (at byte %d)", ErrTrailing, d.pos)
+	}
+	return nil
+}
+
+// literal consumes an exact keyword (true, false, null).
+func (d *decodeState) literal(want string) error {
+	if len(d.data)-d.pos < len(want) || string(d.data[d.pos:d.pos+len(want)]) != want {
+		return d.errf("invalid literal")
+	}
+	d.pos += len(want)
+	return nil
+}
+
+// object parses {"key": value, ...}, dispatching each value to field,
+// which must consume it (keys are raw unquoted bytes).
+func (d *decodeState) object(field func(key []byte) error) error {
+	d.skipSpace()
+	if err := d.advance('{'); err != nil {
+		return err
+	}
+	d.skipSpace()
+	if d.eat('}') {
+		d.pos++
+		return nil
+	}
+	for {
+		d.skipSpace()
+		key, err := d.key()
+		if err != nil {
+			return err
+		}
+		d.skipSpace()
+		if err := d.advance(':'); err != nil {
+			return err
+		}
+		if err := field(key); err != nil {
+			return err
+		}
+		d.skipSpace()
+		if d.eat(',') {
+			d.pos++
+			continue
+		}
+		return d.advance('}')
+	}
+}
+
+// array parses [value, ...], dispatching each element to elem.
+func (d *decodeState) array(elem func() error) error {
+	d.skipSpace()
+	if err := d.advance('['); err != nil {
+		return err
+	}
+	d.skipSpace()
+	if d.eat(']') {
+		d.pos++
+		return nil
+	}
+	for {
+		if err := elem(); err != nil {
+			return err
+		}
+		d.skipSpace()
+		if d.eat(',') {
+			d.pos++
+			d.skipSpace()
+			continue
+		}
+		return d.advance(']')
+	}
+}
+
+// nullOr consumes a null (returning true) or leaves the position for a
+// real value.
+func (d *decodeState) nullOr() (bool, error) {
+	d.skipSpace()
+	if d.eat('n') {
+		if err := d.literal("null"); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// stringField decodes a string value into dst; null leaves dst unchanged.
+func (d *decodeState) stringField(dst *string) error {
+	isNull, err := d.nullOr()
+	if err != nil || isNull {
+		return err
+	}
+	s, err := d.string()
+	if err != nil {
+		return err
+	}
+	*dst = s
+	return nil
+}
+
+// tripleArray decodes [{"subject":...}, ...] into dst (replacing it, as
+// encoding/json does for slices); null leaves dst unchanged.
+func (d *decodeState) tripleArray(dst *[]triple.Triple) error {
+	isNull, err := d.nullOr()
+	if err != nil || isNull {
+		return err
+	}
+	// encoding/json reuses existing slice elements in place (a duplicate
+	// key's second array merges element-wise into the first); reading
+	// prev[len(out)] before the append overwrites that slot preserves it.
+	prev := *dst
+	out := prev[:0]
+	err = d.array(func() error {
+		var t triple.Triple
+		if len(out) < len(prev) {
+			t = prev[len(out)]
+		}
+		if err := d.tripleValue(&t); err != nil {
+			return err
+		}
+		out = append(out, t)
+		return nil
+	})
+	if out == nil {
+		// encoding/json materializes an empty non-nil slice for [].
+		out = []triple.Triple{}
+	}
+	*dst = out
+	return err
+}
+
+func (d *decodeState) tripleValue(t *triple.Triple) error {
+	isNull, err := d.nullOr()
+	if err != nil || isNull {
+		return err
+	}
+	return d.object(func(key []byte) error {
+		switch {
+		case keyIs(key, "subject"):
+			return d.stringField(&t.Subject)
+		case keyIs(key, "predicate"):
+			return d.stringField(&t.Predicate)
+		case keyIs(key, "object"):
+			return d.stringField(&t.Object)
+		}
+		return d.skipValue(0)
+	})
+}
+
+// observationArray decodes [{"source":...}, ...] into dst; null leaves
+// dst unchanged.
+func (d *decodeState) observationArray(dst *[]Observation) error {
+	isNull, err := d.nullOr()
+	if err != nil || isNull {
+		return err
+	}
+	// Same element-reuse semantics as tripleArray.
+	prev := *dst
+	out := prev[:0]
+	err = d.array(func() error {
+		var o Observation
+		if len(out) < len(prev) {
+			o = prev[len(out)]
+		}
+		isNull, err := d.nullOr()
+		if err != nil {
+			return err
+		}
+		if !isNull {
+			err = d.object(func(key []byte) error {
+				switch {
+				case keyIs(key, "source"):
+					return d.stringField(&o.Source)
+				case keyIs(key, "subject"):
+					return d.stringField(&o.Subject)
+				case keyIs(key, "predicate"):
+					return d.stringField(&o.Predicate)
+				case keyIs(key, "object"):
+					return d.stringField(&o.Object)
+				case keyIs(key, "label"):
+					return d.stringField(&o.Label)
+				}
+				return d.skipValue(0)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		out = append(out, o)
+		return nil
+	})
+	if out == nil {
+		// encoding/json materializes an empty non-nil slice for [].
+		out = []Observation{}
+	}
+	*dst = out
+	return err
+}
+
+// key parses an object key, returning its unescaped raw bytes. Keys
+// without escapes alias the input buffer (no allocation); escaped keys
+// are unquoted into a fresh slice so folding sees the real characters.
+func (d *decodeState) key() ([]byte, error) {
+	if err := d.advance('"'); err != nil {
+		return nil, err
+	}
+	start := d.pos
+	for d.pos < len(d.data) {
+		switch c := d.data[d.pos]; {
+		case c == '"':
+			raw := d.data[start:d.pos]
+			d.pos++
+			return raw, nil
+		case c == '\\':
+			d.pos = start - 1 // rewind to the opening quote
+			s, err := d.string()
+			if err != nil {
+				return nil, err
+			}
+			return []byte(s), nil
+		case c < 0x20:
+			return nil, d.errf("control character in string")
+		default:
+			d.pos++
+		}
+	}
+	return nil, d.errf("unterminated string")
+}
+
+// string parses a JSON string value with encoding/json's semantics:
+// strict escape validation, surrogate pairs combined, unpaired surrogates
+// and invalid UTF-8 coerced to U+FFFD.
+func (d *decodeState) string() (string, error) {
+	if err := d.advance('"'); err != nil {
+		return "", err
+	}
+	start := d.pos
+	// Fast path: plain ASCII without escapes aliases no memory but costs
+	// exactly one string allocation.
+	for d.pos < len(d.data) {
+		c := d.data[d.pos]
+		if c == '"' {
+			s := string(d.data[start:d.pos])
+			d.pos++
+			return s, nil
+		}
+		if c == '\\' || c >= utf8.RuneSelf {
+			break
+		}
+		if c < 0x20 {
+			return "", d.errf("control character in string")
+		}
+		d.pos++
+	}
+	// Slow path: escapes or non-ASCII bytes.
+	buf := append([]byte(nil), d.data[start:d.pos]...)
+	for d.pos < len(d.data) {
+		switch c := d.data[d.pos]; {
+		case c == '"':
+			d.pos++
+			return string(buf), nil
+		case c == '\\':
+			d.pos++
+			r, err := d.escape()
+			if err != nil {
+				return "", err
+			}
+			buf = utf8.AppendRune(buf, r)
+		case c < 0x20:
+			return "", d.errf("control character in string")
+		case c < utf8.RuneSelf:
+			buf = append(buf, c)
+			d.pos++
+		default:
+			r, size := utf8.DecodeRune(d.data[d.pos:])
+			// DecodeRune already maps invalid sequences to U+FFFD with
+			// size 1, which is exactly encoding/json's coercion.
+			buf = utf8.AppendRune(buf, r)
+			d.pos += size
+		}
+	}
+	return "", d.errf("unterminated string")
+}
+
+// escape parses one backslash escape (the backslash already consumed),
+// returning the rune it denotes.
+func (d *decodeState) escape() (rune, error) {
+	if d.pos >= len(d.data) {
+		return 0, d.errf("unterminated escape")
+	}
+	c := d.data[d.pos]
+	d.pos++
+	switch c {
+	case '"', '\\', '/':
+		return rune(c), nil
+	case 'b':
+		return '\b', nil
+	case 'f':
+		return '\f', nil
+	case 'n':
+		return '\n', nil
+	case 'r':
+		return '\r', nil
+	case 't':
+		return '\t', nil
+	case 'u':
+		r, err := d.hex4()
+		if err != nil {
+			return 0, err
+		}
+		if utf16.IsSurrogate(r) {
+			if d.pos+1 < len(d.data) && d.data[d.pos] == '\\' && d.data[d.pos+1] == 'u' {
+				save := d.pos
+				d.pos += 2
+				r2, err := d.hex4()
+				if err != nil {
+					return 0, err
+				}
+				if combined := utf16.DecodeRune(r, r2); combined != utf8.RuneError {
+					return combined, nil
+				}
+				// Not a valid pair: the second escape stands alone
+				// (itself coerced if it is a surrogate half).
+				d.pos = save
+			}
+			return utf8.RuneError, nil
+		}
+		return r, nil
+	}
+	return 0, d.errf("invalid escape character")
+}
+
+func (d *decodeState) hex4() (rune, error) {
+	if d.pos+4 > len(d.data) {
+		return 0, d.errf("truncated \\u escape")
+	}
+	var r rune
+	for i := 0; i < 4; i++ {
+		c := d.data[d.pos+i]
+		switch {
+		case c >= '0' && c <= '9':
+			c -= '0'
+		case c >= 'a' && c <= 'f':
+			c = c - 'a' + 10
+		case c >= 'A' && c <= 'F':
+			c = c - 'A' + 10
+		default:
+			return 0, d.errf("invalid \\u escape")
+		}
+		r = r<<4 + rune(c)
+	}
+	d.pos += 4
+	return r, nil
+}
+
+// skipValue consumes any well-formed JSON value without decoding it.
+func (d *decodeState) skipValue(depth int) error {
+	if depth > maxNestingDepth {
+		return d.errf("exceeded max nesting depth")
+	}
+	d.skipSpace()
+	if d.pos >= len(d.data) {
+		return d.errf("unexpected end of input")
+	}
+	switch c := d.data[d.pos]; {
+	case c == '{':
+		return d.object(func([]byte) error { return d.skipValue(depth + 1) })
+	case c == '[':
+		return d.array(func() error { return d.skipValue(depth + 1) })
+	case c == '"':
+		return d.skipString()
+	case c == 't':
+		return d.literal("true")
+	case c == 'f':
+		return d.literal("false")
+	case c == 'n':
+		return d.literal("null")
+	case c == '-' || (c >= '0' && c <= '9'):
+		return d.skipNumber()
+	}
+	return d.errf("unexpected character %q", string(rune(d.data[d.pos])))
+}
+
+// skipString validates a string without building it.
+func (d *decodeState) skipString() error {
+	if err := d.advance('"'); err != nil {
+		return err
+	}
+	for d.pos < len(d.data) {
+		switch c := d.data[d.pos]; {
+		case c == '"':
+			d.pos++
+			return nil
+		case c == '\\':
+			d.pos++
+			if _, err := d.escape(); err != nil {
+				return err
+			}
+		case c < 0x20:
+			return d.errf("control character in string")
+		default:
+			d.pos++
+		}
+	}
+	return d.errf("unterminated string")
+}
+
+// skipNumber validates a number against the JSON grammar:
+// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+func (d *decodeState) skipNumber() error {
+	digits := func() bool {
+		n := 0
+		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+			d.pos++
+			n++
+		}
+		return n > 0
+	}
+	if d.eat('-') {
+		d.pos++
+	}
+	switch {
+	case d.eat('0'):
+		d.pos++
+	case d.pos < len(d.data) && d.data[d.pos] >= '1' && d.data[d.pos] <= '9':
+		digits()
+	default:
+		return d.errf("invalid number")
+	}
+	if d.eat('.') {
+		d.pos++
+		if !digits() {
+			return d.errf("invalid number")
+		}
+	}
+	if d.eat('e') || d.eat('E') {
+		d.pos++
+		if d.eat('+') || d.eat('-') {
+			d.pos++
+		}
+		if !digits() {
+			return d.errf("invalid number")
+		}
+	}
+	return nil
+}
+
+// keyIs reports whether a raw key matches a field name the way
+// encoding/json folds: ASCII case-insensitively, plus the two Unicode
+// runes whose simple fold lands in ASCII (U+017F long s, U+212A kelvin).
+// name must be ASCII lowercase.
+func keyIs(key []byte, name string) bool {
+	i := 0
+	for j := 0; j < len(name); j++ {
+		if i >= len(key) {
+			return false
+		}
+		r, size := utf8.DecodeRune(key[i:])
+		i += size
+		switch {
+		case r >= 'A' && r <= 'Z':
+			r += 'a' - 'A'
+		case r == '\u017f': // long s
+			r = 's'
+		case r == '\u212a': // kelvin sign
+			r = 'k'
+		}
+		if r != rune(name[j]) {
+			return false
+		}
+	}
+	return i == len(key)
+}

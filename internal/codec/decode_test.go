@@ -1,0 +1,196 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// refDecode replicates the serving layer's legacy decode exactly:
+// json.Decoder, then a second Decode that must hit io.EOF (anything else
+// is trailing data).
+func refDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		if err == nil {
+			return errors.New("trailing data")
+		}
+		return err
+	}
+	return nil
+}
+
+var decodeBodies = []string{
+	`{"triples":[{"subject":"s","predicate":"p","object":"o"}]}`,
+	`{"triples":[{"Subject":"s","PREDICATE":"p","oBjEcT":"o"}]}`,
+	`{"triples":[]}`,
+	`{"triples":null}`,
+	`{}`,
+	`null`,
+	` { "triples" : [ { "subject" : "a" } , { "object" : "b" } ] } `,
+	`{"unknown":123,"triples":[{"subject":"s","predicate":"p","object":"o"}],"extra":{"deep":[1,2,{"x":null}]}}`,
+	`{"triples":[{"subject":"dup"}],"triples":[{"subject":"wins"}]}`,
+	`{"triples":[{"subject":"esc\nape\t\"q\"\u0041\u00e9\ud83d\ude00"}]}`,
+	`{"triples":[{"subject":"\ud800"}]}`,
+	`{"triples":[{"subject":"\ud800\udc00"}]}`,
+	`{"triples":[{"subject":"\ud800\ud800"}]}`,
+	`{"triples":[{"subject":"raw é unicode"}]}`,
+	"{\"triples\":[{\"subject\":\"bad \xff utf8\"}]}",
+	`{"triples":[{"subject":null,"predicate":"p"}]}`,
+	`{"triples":[null]}`,
+	`{"triples":[{"subject":"s","nested":{"a":[true,false,null,1.5e10,-0.25]}}]}`,
+	`{"ſubject":"long s top-level is unknown here"}`,
+	`{"triples":[{"ſubject":"folds to subject"}]}`,
+	`{"triples":[{"subject":"s"}]}{"another":"doc"}`,
+	`{"triples":[{"subject":"s"}]} garbage`,
+	`{"triples":[{"subject":"s"}]}` + "\n\t ",
+	`{"triples":[{"subject":1}]}`,
+	`{"triples":"not an array"}`,
+	`{"triples":[{"subject":"s"},]}`,
+	`{"triples":[{"subject":"s"}`,
+	`{"triples":[{"subject":"unterminated`,
+	`{"triples":[{"subject":"bad \q escape"}]}`,
+	`{"triples":[{"subject":"bad \u00zz hex"}]}`,
+	`{"triples":[{"subject":"ctrl ` + "\x01" + ` raw"}]}`,
+	`{bad json`,
+	``,
+	`   `,
+	`true`,
+	`42`,
+	`"a string"`,
+	`[1,2,3]`,
+	`{"n":01}`,
+	`{"n":1e999}`,
+	`{"n":-0.5e+10}`,
+	`{"n":.5}`,
+	`{"n":5.}`,
+	`{"n":+1}`,
+	`{"triples":[{"subject":"s"}],}`,
+	`{"triples" [}`,
+	`{"a":}`,
+	`{:1}`,
+	strings.Repeat(`{"x":`, 200) + `1` + strings.Repeat(`}`, 200),
+}
+
+func TestDecodeScoreRequestMatchesJSON(t *testing.T) {
+	for _, body := range decodeBodies {
+		var want ScoreRequest
+		wantErr := refDecode([]byte(body), &want)
+		var got ScoreRequest
+		gotErr := DecodeScoreRequest([]byte(body), &got)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("body %q: error disagreement: encoding/json=%v codec=%v", body, wantErr, gotErr)
+			continue
+		}
+		if wantErr == nil && !reflect.DeepEqual(got, want) {
+			t.Errorf("body %q:\n got %+v\nwant %+v", body, got, want)
+		}
+	}
+}
+
+func TestDecodeObserveRequestMatchesJSON(t *testing.T) {
+	bodies := append([]string{
+		`{"source":"a","subject":"s","predicate":"p","object":"o"}`,
+		`{"source":"a","subject":"s","predicate":"p","object":"o","label":"true"}`,
+		`{"observations":[{"source":"a","subject":"s","predicate":"p","object":"o"}]}`,
+		`{"observations":[{"source":"a"},{"label":"false"}]}`,
+		`{"source":"both","observations":[{"source":"a"}]}`,
+		`{"observations":null,"label":"x"}`,
+		`{"observations":[null,{"source":"a"}]}`,
+		`{"SOURCE":"caps","Observations":[{"LABEL":"t"}]}`,
+	}, decodeBodies...)
+	for _, body := range bodies {
+		var want ObserveRequest
+		wantErr := refDecode([]byte(body), &want)
+		var got ObserveRequest
+		gotErr := DecodeObserveRequest([]byte(body), &got)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("body %q: error disagreement: encoding/json=%v codec=%v", body, wantErr, gotErr)
+			continue
+		}
+		if wantErr == nil && !reflect.DeepEqual(got, want) {
+			t.Errorf("body %q:\n got %+v\nwant %+v", body, got, want)
+		}
+	}
+}
+
+func TestDecodeTrailingSentinel(t *testing.T) {
+	var req ScoreRequest
+	err := DecodeScoreRequest([]byte(`{} {}`), &req)
+	if !errors.Is(err, ErrTrailing) {
+		t.Fatalf("want ErrTrailing, got %v", err)
+	}
+	err = DecodeScoreRequest([]byte(`{"x":1`), &req)
+	var syn *SyntaxError
+	if !errors.As(err, &syn) {
+		t.Fatalf("want SyntaxError, got %v", err)
+	}
+}
+
+// The fuzzers hold the decoders to encoding/json's observable behavior:
+// no panics, agreement on accept/reject, and identical decoded values on
+// accept.
+func FuzzDecodeScoreRequest(f *testing.F) {
+	for _, body := range decodeBodies {
+		f.Add([]byte(body))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var want ScoreRequest
+		wantErr := refDecode(data, &want)
+		var got ScoreRequest
+		gotErr := DecodeScoreRequest(data, &got)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error disagreement on %q: encoding/json=%v codec=%v", data, wantErr, gotErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("value disagreement on %q:\n got %+v\nwant %+v", data, got, want)
+		}
+	})
+}
+
+func FuzzDecodeObserveRequest(f *testing.F) {
+	for _, body := range decodeBodies {
+		f.Add([]byte(body))
+	}
+	f.Add([]byte(`{"source":"a","observations":[{"subject":"s"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var want ObserveRequest
+		wantErr := refDecode(data, &want)
+		var got ObserveRequest
+		gotErr := DecodeObserveRequest(data, &got)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error disagreement on %q: encoding/json=%v codec=%v", data, wantErr, gotErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("value disagreement on %q:\n got %+v\nwant %+v", data, got, want)
+		}
+	})
+}
+
+// FuzzAppendStringRoundTrip checks the encoder against encoding/json on
+// arbitrary (including invalid-UTF-8) inputs: identical bytes out.
+func FuzzAppendStringRoundTrip(f *testing.F) {
+	for _, s := range trickyStrings {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(s); err != nil {
+			t.Skip()
+		}
+		want := bytes.TrimSuffix(buf.Bytes(), []byte("\n"))
+		if got := AppendString(nil, s); !bytes.Equal(got, want) {
+			t.Fatalf("AppendString(%q) = %s, want %s", s, got, want)
+		}
+	})
+}

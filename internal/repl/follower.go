@@ -36,6 +36,11 @@ type Status struct {
 	// restore). It is sticky: fetching stops and reads serve stale until an
 	// operator wipes the follower's state and re-bootstraps it.
 	Diverged bool
+	// Rebootstraps counts automatic snapshot re-bootstraps completed after
+	// the leader truncated past this follower's position (HTTP 410). A
+	// nonzero value is worth alerting on: each one means this follower fell
+	// behind a full retention window and re-downloaded the store.
+	Rebootstraps uint64
 }
 
 // FollowerOptions configures Follower. LeaderURL, WAL and Apply are
@@ -55,6 +60,18 @@ type FollowerOptions struct {
 	// Client is the HTTP client (default http.DefaultClient; give it no
 	// global timeout — long-polls hold connections open deliberately).
 	Client *http.Client
+	// Rebootstrap, when non-nil, is invoked after the leader answers 410
+	// (its retained history no longer reaches our next record): the hook
+	// must download a fresh leader snapshot, apply it to the local store,
+	// and Rebase the local WAL to the first uncovered sequence — after
+	// which fetching resumes automatically. Nil keeps 410 an operator
+	// problem: the follower serves stale reads and retries forever.
+	//
+	// Divergence (the follower AHEAD of the leader's durable history) is
+	// deliberately NOT auto-healed by this hook: a diverged follower holds
+	// acknowledged records the leader lost, and silently discarding them
+	// is a data-loss decision only an operator should make.
+	Rebootstrap func(ctx context.Context) error
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
 	// FetchWait is the long-poll wait requested per fetch (default 10s).
@@ -141,6 +158,22 @@ func (f *Follower) Run(ctx context.Context) error {
 		case ctx.Err() != nil:
 			return ctx.Err()
 		default:
+			if IsTruncated(err) && f.opts.Rebootstrap != nil {
+				f.logf("repl: follower: leader truncated our position; re-bootstrapping from a fresh snapshot")
+				if rerr := f.opts.Rebootstrap(ctx); rerr == nil {
+					f.noteRebootstrapped()
+					f.logf("repl: follower: re-bootstrap complete; resuming from seq %d", f.opts.WAL.Seq()+1)
+					backoff = f.opts.MinBackoff
+					wait = 0
+					continue
+				} else if ctx.Err() != nil {
+					return ctx.Err()
+				} else {
+					// Keep IsTruncated true so the next round retries the
+					// re-bootstrap instead of fetching into another 410.
+					err = fmt.Errorf("%w (automatic re-bootstrap failed: %v)", errTruncated, rerr)
+				}
+			}
 			wait = 0
 			f.noteError(err)
 			f.logf("repl: follower: fetch failed (retrying in %s): %v", backoff, err)
@@ -325,6 +358,14 @@ func (f *Follower) noteDiverged(leaderLimit, applied uint64) error {
 	f.st.Diverged = true
 	f.mu.Unlock()
 	return errDiverged
+}
+
+// noteRebootstrapped records a completed automatic re-bootstrap. Connected
+// stays false until the next fetch succeeds against the rebased position.
+func (f *Follower) noteRebootstrapped() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.st.Rebootstraps++
 }
 
 func (f *Follower) noteError(err error) {

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -293,6 +294,135 @@ func TestFollowerTruncated410(t *testing.T) {
 	}
 }
 
+// TestFollowerAutoRebootstrap: a 410 with a Rebootstrap hook configured
+// re-bootstraps in place — snapshot downloaded, local WAL rebased to
+// covered+1, shipping resumed from there — instead of parking on an
+// operator error, and the Rebootstraps counter records it happened.
+func TestFollowerAutoRebootstrap(t *testing.T) {
+	lw := mustWAL(t, wal.Options{SegmentBytes: 1})
+	for i := 0; i < 6; i++ {
+		appendCommit(t, lw, rec(i))
+	}
+	if err := lw.TruncateThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	const storeBody = "leader-store-snapshot\n"
+	srv := newLeaderServer(t, lw,
+		func(w io.Writer) error { _, err := io.WriteString(w, storeBody); return err },
+		func() uint64 { return 4 }, // snapshot covers the truncated seqs 1-4
+	)
+
+	fw := mustWAL(t, wal.Options{})
+	sink := &applied{}
+	var snapMu sync.Mutex
+	var snapshots []string
+	f, err := NewFollower(FollowerOptions{
+		LeaderURL: srv.URL,
+		WAL:       fw,
+		Apply:     sink.apply,
+		Rebootstrap: func(ctx context.Context) error {
+			covered, body, err := Snapshot(ctx, nil, srv.URL)
+			if err != nil {
+				return err
+			}
+			b, err := io.ReadAll(body)
+			//lint:ignore errswallow test hook; a close error changes nothing below
+			body.Close()
+			if err != nil {
+				return err
+			}
+			snapMu.Lock()
+			snapshots = append(snapshots, string(b))
+			snapMu.Unlock()
+			return fw.Rebase(covered + 1)
+		},
+		Logf:       t.Logf,
+		FetchWait:  200 * time.Millisecond,
+		MinBackoff: 10 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		//lint:ignore errswallow Run only returns ctx.Err(); the test ends via cancel
+		f.Run(ctx)
+	}()
+
+	// A fresh follower asks from seq 1, which is truncated away: 410 →
+	// auto-rebootstrap → resume shipping the retained seqs 5-6.
+	waitFor(t, "post-rebootstrap replication", func() bool { return sink.len() == 2 })
+	sink.mu.Lock()
+	if sink.recs[0].Seq != 5 || sink.recs[1].Seq != 6 {
+		t.Fatalf("post-rebootstrap shipment seqs %d,%d; want 5,6", sink.recs[0].Seq, sink.recs[1].Seq)
+	}
+	sink.mu.Unlock()
+	snapMu.Lock()
+	if len(snapshots) != 1 || snapshots[0] != storeBody {
+		t.Fatalf("rebootstrap downloaded %d snapshots (%q), want one of %q", len(snapshots), snapshots, storeBody)
+	}
+	snapMu.Unlock()
+	waitFor(t, "caught-up post-rebootstrap status", func() bool {
+		st := f.Status()
+		return st.Connected && st.AppliedSeq == 6 && st.Rebootstraps == 1 && !st.Diverged
+	})
+	if got := fw.Seq(); got != 6 {
+		t.Fatalf("follower log head %d after rebootstrap, want 6", got)
+	}
+
+	// The link is fully healed: live tail records keep flowing.
+	appendCommit(t, lw, rec(6))
+	waitFor(t, "live tail after rebootstrap", func() bool { return sink.len() == 3 })
+}
+
+// TestDivergedNeverRebootstraps: divergence means the follower holds
+// acknowledged records the leader lost — discarding them is an operator
+// decision, so the automatic Rebootstrap hook must never fire for it.
+func TestDivergedNeverRebootstraps(t *testing.T) {
+	lw := mustWAL(t, wal.Options{})
+	appendCommit(t, lw, rec(0))
+	fw := mustWAL(t, wal.Options{})
+	for i := 0; i < 4; i++ {
+		appendCommit(t, fw, rec(i)) // follower runs ahead of the leader
+	}
+	srv := newLeaderServer(t, lw, nil, nil)
+	sink := &applied{}
+	var hookCalls atomic.Uint64
+	f, err := NewFollower(FollowerOptions{
+		LeaderURL: srv.URL,
+		WAL:       fw,
+		Apply:     sink.apply,
+		Rebootstrap: func(ctx context.Context) error {
+			hookCalls.Add(1)
+			return nil
+		},
+		Logf:       t.Logf,
+		FetchWait:  200 * time.Millisecond,
+		MinBackoff: 10 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		//lint:ignore errswallow Run only returns ctx.Err(); the test ends via cancel
+		f.Run(ctx)
+	}()
+
+	waitFor(t, "diverged state", func() bool { return f.Status().Diverged })
+	time.Sleep(100 * time.Millisecond) // several backoff cycles on the sticky error
+	if n := hookCalls.Load(); n != 0 {
+		t.Fatalf("Rebootstrap hook fired %d times on divergence", n)
+	}
+	if st := f.Status(); st.Rebootstraps != 0 {
+		t.Fatalf("diverged follower counted %d rebootstraps", st.Rebootstraps)
+	}
+}
+
 // TestSnapshotBootstrap: the snapshot endpoint streams the store with the
 // covered-seq header, and a follower bootstrapped at covered+1 resumes
 // shipping without a gap.
@@ -384,7 +514,7 @@ func TestFollowerDetectsDivergedLeader(t *testing.T) {
 	// what would be different data for the same seqs) must not "heal" the
 	// link — nothing may ever be fetched again.
 	for i := 0; i < 6; i++ {
-		appendCommit(t, lw, rec(100 + i))
+		appendCommit(t, lw, rec(100+i))
 	}
 	time.Sleep(150 * time.Millisecond) // several backoff cycles
 	if sink.len() != 0 {

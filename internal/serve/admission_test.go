@@ -392,9 +392,10 @@ func TestAdmissionDisabledByDefault(t *testing.T) {
 	}
 }
 
-// TestWriteJSONEncodeFailure: an unencodable response body is logged and
-// counted instead of vanishing (the bug this PR fixes) — the client already
-// has its status line, so accounting is all that is left to do.
+// TestWriteJSONEncodeFailure: an unencodable response body is counted and
+// — because the encode now runs into a pooled buffer before the status
+// line is written — answered with a clean 500 and a well-formed error
+// body, never a truncated 2xx.
 func TestWriteJSONEncodeFailure(t *testing.T) {
 	srv := newServer(t, seedStore(t), corrConfig())
 	rec := httptest.NewRecorder()
@@ -402,8 +403,12 @@ func TestWriteJSONEncodeFailure(t *testing.T) {
 	if got := srv.m.encodeFailures.Load(); got != 1 {
 		t.Fatalf("corrfused_response_encode_failures_total = %d, want 1", got)
 	}
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status = %d, want the already-committed 200", rec.Code)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 (encode failed before any bytes were written)", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Fatalf("error body not well-formed JSON: %q (err=%v)", rec.Body.String(), err)
 	}
 }
 

@@ -5,10 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"time"
 
+	"corrfuse/internal/codec"
 	"corrfuse/internal/index"
 	"corrfuse/internal/obs"
 	"corrfuse/internal/serve/middleware"
@@ -16,28 +16,17 @@ import (
 	"corrfuse/internal/triple"
 )
 
+// The hot request/response shapes live in internal/codec next to their
+// hand-rolled encoders and decoders; the aliases keep serve's public API
+// unchanged.
+
 // Observation is one ingested claim: a source asserting a triple, with an
 // optional gold label ("true" or "false") that joins the training set at
 // the next re-fusion.
-type Observation struct {
-	Source    string `json:"source"`
-	Subject   string `json:"subject"`
-	Predicate string `json:"predicate"`
-	Object    string `json:"object"`
-	Label     string `json:"label,omitempty"`
-}
+type Observation = codec.Observation
 
 // ObserveResult reports the freshest probability after applying one claim.
-type ObserveResult struct {
-	Triple      triple.Triple `json:"triple"`
-	Probability float64       `json:"probability"`
-	// Live reports that the probability came from the incremental model
-	// (false: stored batch value, e.g. for unsupervised methods).
-	Live bool `json:"live"`
-	// PendingSource reports that the claiming source is not yet in the
-	// quality model; its evidence joins at the next re-fusion.
-	PendingSource bool `json:"pendingSource,omitempty"`
-}
+type ObserveResult = codec.ObserveResult
 
 // TripleStatus is the full query answer for one stored triple.
 type TripleStatus struct {
@@ -52,22 +41,15 @@ type TripleStatus struct {
 
 // ScoreRequest asks for probabilities of a batch of triples (at most
 // Config.MaxScoreTriples per request).
-type ScoreRequest struct {
-	Triples []triple.Triple `json:"triples"`
-}
+type ScoreRequest = codec.ScoreRequest
 
 // ScoreResult is one scored triple of a batch.
-type ScoreResult struct {
-	Triple      triple.Triple `json:"triple"`
-	Probability float64       `json:"probability"`
-	// Basis is "snapshot" (frozen batch index), "live" (incremental
-	// model) or "unknown" (never observed; probability is 0).
-	Basis string `json:"basis"`
-	// Accepted reports the snapshot's acceptance decision. It is present
-	// exactly when Basis is "snapshot" (a rejected triple serializes as
-	// false, not as an absent field) and omitted otherwise.
-	Accepted *bool `json:"accepted,omitempty"`
-}
+type ScoreResult = codec.ScoreResult
+
+// acceptedTrue and acceptedFalse back the ScoreResult.Accepted pointers:
+// pointing into these package-level values instead of a per-result local
+// keeps the scoring loop allocation-free.
+var acceptedTrue, acceptedFalse = true, false
 
 // routes mounts the API. The /v1 endpoints sit behind the admission-control
 // chain (rate limit → load shed → deadline; see admit): durable writes and
@@ -91,20 +73,37 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /debug/traces", s.route("traces", s.traces.Handler()))
 }
 
-// writeJSON writes a JSON response body. An encode error after WriteHeader
-// cannot be turned into an error status anymore — the client saw a 2xx and
-// then a truncated body — so it is logged and counted
-// (corrfused_response_encode_failures_total) instead of silently dropped,
-// which is how it used to escape all accounting.
+// writeJSON writes a JSON response body. The encode runs into a pooled
+// buffer before any byte (or the status line) reaches the wire, so an
+// encode failure downgrades cleanly to a 500 — the old stream-to-wire
+// encoder could only truncate the body after a 2xx was already sent.
+// Failures are still counted (corrfused_response_encode_failures_total).
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
+	buf := codec.GetBuffer()
+	defer codec.PutBuffer(buf)
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(v); err != nil {
 		s.m.encodeFailures.Inc()
-		s.logf("serve: response encode failed after status %d (client received a truncated body): %v", code, err)
+		s.logf("serve: response encode failed before write (status %d became 500): %v", code, err)
+		s.writeBody(w, http.StatusInternalServerError, errEncodeBody)
+		return
 	}
+	s.writeBody(w, code, buf.B)
+}
+
+// errEncodeBody is the static fallback body for responses whose intended
+// payload failed to encode.
+var errEncodeBody = []byte("{\"error\":\"response encoding failed\"}\n")
+
+// writeBody writes an already-encoded JSON body.
+func (s *Server) writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// A write error here means the client went away mid-response; there
+	// is no one left to tell.
+	//lint:ignore errswallow client disconnects mid-write are not actionable
+	w.Write(body)
 }
 
 // httpError writes a structured JSON error. 4xx accounting happens in the
@@ -124,38 +123,62 @@ func (s *Server) payloadTooLarge(w http.ResponseWriter, limitField string, limit
 	})
 }
 
-// decodeCapped JSON-decodes a request body into v under the server's byte
-// cap, answering 413 (structured, naming the limit) or 400 itself when the
-// body is oversized, malformed, or followed by trailing data — a second
-// JSON value (or garbage) after the document would otherwise be silently
-// dropped, acknowledging a request the client half-sent. It reports
-// whether decoding succeeded.
-func (s *Server) decodeCapped(w http.ResponseWriter, r *http.Request, v any) bool {
-	defer s.span(r.Context(), "decode")()
+// readCapped reads the whole request body into buf under the server's
+// byte cap, answering the 413 (structured, naming the limit) or 400
+// itself on failure. It reports whether the read succeeded.
+func (s *Server) readCapped(w http.ResponseWriter, r *http.Request, buf *codec.Buffer) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(v); err != nil {
+	if _, err := buf.ReadFrom(r.Body); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.payloadTooLarge(w, "maxBytes", tooLarge.Limit,
 				"request body exceeds %d bytes", tooLarge.Limit)
 			return false
 		}
-		s.httpError(w, http.StatusBadRequest, "malformed body: %v", err)
+		s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
 		return false
 	}
-	var trailing json.RawMessage
-	if err := dec.Decode(&trailing); err != io.EOF {
-		// Distinguish "the body kept going past the cap" from "there is a
-		// second value after the document": the former needs the 413 with
-		// the limit, not a framing complaint.
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			s.payloadTooLarge(w, "maxBytes", tooLarge.Limit,
-				"request body exceeds %d bytes", tooLarge.Limit)
-			return false
-		}
+	return true
+}
+
+// decodeError answers a codec decode failure: 400 either way, but a
+// trailing second JSON value keeps its dedicated message — garbage after
+// the document would otherwise be silently dropped, acknowledging a
+// request the client half-sent.
+func (s *Server) decodeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, codec.ErrTrailing) {
 		s.httpError(w, http.StatusBadRequest, "trailing data after JSON document")
+		return
+	}
+	s.httpError(w, http.StatusBadRequest, "malformed body: %v", err)
+}
+
+// decodeScore parses a /v1/score body through the codec fast path,
+// answering 413/400 itself. It reports whether decoding succeeded.
+func (s *Server) decodeScore(w http.ResponseWriter, r *http.Request, req *ScoreRequest) bool {
+	defer s.span(r.Context(), "decode")()
+	buf := codec.GetBuffer()
+	defer codec.PutBuffer(buf)
+	if !s.readCapped(w, r, buf) {
+		return false
+	}
+	if err := codec.DecodeScoreRequest(buf.B, req); err != nil {
+		s.decodeError(w, err)
+		return false
+	}
+	return true
+}
+
+// decodeObserve is decodeScore's twin for the /v1/observe body.
+func (s *Server) decodeObserve(w http.ResponseWriter, r *http.Request, req *codec.ObserveRequest) bool {
+	defer s.span(r.Context(), "decode")()
+	buf := codec.GetBuffer()
+	defer codec.PutBuffer(buf)
+	if !s.readCapped(w, r, buf) {
+		return false
+	}
+	if err := codec.DecodeObserveRequest(buf.B, req); err != nil {
+		s.decodeError(w, err)
 		return false
 	}
 	return true
@@ -187,11 +210,8 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	}
-	var batch struct {
-		Observation
-		Observations []Observation `json:"observations"`
-	}
-	if !s.decodeCapped(w, r, &batch) {
+	var batch codec.ObserveRequest
+	if !s.decodeObserve(w, r, &batch) {
 		return
 	}
 	single := batch.Observation
@@ -270,15 +290,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sn := s.snap.Load()
-	//lint:ignore hotpathalloc response assembly allocates once per request, not per claim
-	out := map[string]any{
-		"results":     results,
-		"snapshotSeq": sn.seq,
-	}
-	if s.wal != nil {
-		out["walSeq"] = maxSeq
-	}
-	s.writeJSON(w, http.StatusOK, out)
+	buf := codec.GetBuffer()
+	defer codec.PutBuffer(buf)
+	buf.B = codec.AppendObserveResponse(buf.B, results, sn.seq, maxSeq, s.wal != nil)
+	s.writeBody(w, http.StatusOK, buf.B)
 }
 
 func (s *Server) status(sn *snapshot, e store.Entry) TripleStatus {
@@ -320,17 +335,15 @@ func (s *Server) handleTriple(w http.ResponseWriter, r *http.Request) {
 // one snapshot. Every response carries both the snapshot's store version and
 // the index's own version: they are always equal (the index is built from
 // exactly the snapshot's capture), so a client — or the soak test — can
-// verify no response ever mixed two generations.
+// verify no response ever mixed two generations. nil entries serve as
+// "results": [] (the codec encoder guarantees it).
+//
+//corrfuse:hotpath
 func (s *Server) writeIndexed(w http.ResponseWriter, sn *snapshot, entries []*index.Entry) {
-	if entries == nil {
-		entries = []*index.Entry{}
-	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"results":         entries,
-		"snapshotSeq":     sn.seq,
-		"snapshotVersion": sn.version,
-		"indexVersion":    sn.idx.Version(),
-	})
+	buf := codec.GetBuffer()
+	defer codec.PutBuffer(buf)
+	buf.B = codec.AppendEntriesResponse(buf.B, entries, sn.seq, sn.version, sn.idx.Version())
+	s.writeBody(w, http.StatusOK, buf.B)
 }
 
 // handleSubject serves the snapshot's fused results about a subject,
@@ -338,6 +351,8 @@ func (s *Server) writeIndexed(w http.ResponseWriter, sn *snapshot, entries []*in
 // no per-request sort, no lock. The view is snapshot-consistent: claims
 // ingested after the snapshot's capture appear at the next rebuild (query
 // /v1/triple or /v1/score for live-overlay freshness).
+//
+//corrfuse:hotpath
 func (s *Server) handleSubject(w http.ResponseWriter, r *http.Request) {
 	end := s.span(r.Context(), "index_lookup")
 	sn := s.snap.Load()
@@ -348,6 +363,8 @@ func (s *Server) handleSubject(w http.ResponseWriter, r *http.Request) {
 
 // handleSource serves the snapshot's fused results a source contributed to,
 // pre-ranked like handleSubject and equally snapshot-consistent.
+//
+//corrfuse:hotpath
 func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	end := s.span(r.Context(), "index_lookup")
 	sn := s.snap.Load()
@@ -365,7 +382,7 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 //corrfuse:hotpath
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	var req ScoreRequest
-	if !s.decodeCapped(w, r, &req) {
+	if !s.decodeScore(w, r, &req) {
 		return
 	}
 	if len(req.Triples) == 0 {
@@ -400,7 +417,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		if inSnap {
 			if p, accepted, ok := sn.idx.Lookup(id); ok {
 				results[i].Probability = p
-				results[i].Accepted = &accepted
+				if accepted {
+					results[i].Accepted = &acceptedTrue
+				} else {
+					results[i].Accepted = &acceptedFalse
+				}
 				results[i].Basis = "snapshot"
 			}
 		}
@@ -408,13 +429,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.live.RUnlock()
 	endScore()
 	s.m.scored.Add(uint64(len(req.Triples)))
-	//lint:ignore hotpathalloc response assembly allocates once per request, not per triple
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"results":         results,
-		"snapshotSeq":     sn.seq,
-		"snapshotVersion": sn.version,
-		"indexVersion":    sn.idx.Version(),
-	})
+	buf := codec.GetBuffer()
+	defer codec.PutBuffer(buf)
+	buf.B = codec.AppendScoreResponse(buf.B, results, sn.seq, sn.version, sn.idx.Version())
+	s.writeBody(w, http.StatusOK, buf.B)
 }
 
 // handleRefuse forces a batch re-fusion and waits for it to complete.
@@ -530,6 +548,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"commit":          bi.Commit,
 		"goVersion":       bi.GoVersion,
 	}
+	if snap := s.snapshotStatus(); snap != nil {
+		out["snapshot"] = snap
+	}
 	if s.wal != nil {
 		out["wal"] = s.walStatus()
 	}
@@ -537,4 +558,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		out["repl"] = s.replSummary(st)
 	}
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// snapshotStatus summarizes the cold-start snapshot state for /healthz:
+// which format persist maintains, and how (and how fast) this process's
+// store was loaded. Nil when there is nothing to report (persistence
+// disabled and no load info recorded).
+func (s *Server) snapshotStatus() map[string]any {
+	out := map[string]any{}
+	if s.cfg.PersistPath != "" {
+		format := SnapshotJSONL
+		if s.binarySnapshots() {
+			format = SnapshotBinary
+		}
+		out["persistFormat"] = format
+	}
+	if li := s.cfg.SnapshotLoad; li != nil {
+		out["loadFormat"] = li.Format
+		out["loadBytes"] = li.Bytes
+		out["loadSeconds"] = li.Duration.Seconds()
+		out["mapped"] = li.Mapped
+		if li.FallbackReason != "" {
+			out["loadFallbackReason"] = li.FallbackReason
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }

@@ -45,9 +45,10 @@ type metrics struct {
 	shed            *obs.CounterVec
 	refuseCoalesced *obs.Counter
 
-	// encodeFailures counts responses whose JSON encoding failed after the
-	// status line was written — the client received a truncated body the
-	// status code cannot reflect anymore.
+	// encodeFailures counts responses whose JSON encoding failed. The
+	// encode now runs into a pooled buffer before the status line is
+	// written, so a failure is answered with a clean 500 instead of a
+	// truncated 2xx body.
 	encodeFailures *obs.Counter
 
 	// persistFailures counts store saves that failed; lastPersistErr holds
@@ -127,7 +128,7 @@ func (s *Server) initObs() {
 			return float64(s.shedder.InFlight())
 		})
 	s.m.refuseCoalesced = r.Counter("corrfused_refuse_coalesced_total", "Concurrent /v1/refuse requests that joined an in-flight rebuild instead of starting another.")
-	s.m.encodeFailures = r.Counter("corrfused_response_encode_failures_total", "Responses whose JSON encoding failed after the status was written (client saw a truncated body).")
+	s.m.encodeFailures = r.Counter("corrfused_response_encode_failures_total", "Responses whose JSON encoding failed (answered with a 500; the encode happens before any bytes hit the wire).")
 	r.SampleFunc("corrfused_obs_encode_failures_total", "JSON encodings that failed inside the observability layer itself (unmarshalable log records, broken /debug/traces writes).", "counter",
 		func() []obs.Sample { return []obs.Sample{{Value: float64(obs.EncodeFailures())}} })
 
@@ -198,8 +199,46 @@ func (s *Server) initObs() {
 		func() float64 { return float64(s.m.onlineDisabled.Load()) })
 	r.GaugeFunc("corrfused_last_rebuild_seconds", "Duration of the last batch re-fusion.",
 		func() float64 { return time.Duration(s.m.lastRebuildNanos.Load()).Seconds() })
-	s.rebuildStage = r.HistogramVec("corrfused_rebuild_stage_seconds", "Re-fusion stage wall time (capture, train, freeze, writeback, index_build, online_seed, swap, shard_route, shard_build).", "stage", obs.DefBuckets)
-	s.m.persistFailures = r.Counter("corrfused_persist_failures_total", "Store saves that failed.")
+	s.rebuildStage = r.HistogramVec("corrfused_rebuild_stage_seconds", "Re-fusion stage wall time (capture, train, freeze, writeback, index_build, online_seed, swap, shard_route, shard_build, snapshot_save_binary, snapshot_save_jsonl).", "stage", obs.DefBuckets)
+	s.m.persistFailures = r.Counter("corrfused_persist_failures_total", "Store saves that failed (either format; a binary-snapshot failure demotes the persist to JSONL-only, it never loses data).")
+
+	// Snapshot formats: how the store was loaded at startup (suppressed
+	// unless cmd/fused recorded it via Config.SnapshotLoad) and which
+	// cold-start format persist maintains.
+	r.GaugeFunc("corrfused_snapshot_binary_persist", "1 while persist maintains the mmap-able CFSN binary snapshot next to the JSONL store, 0 in JSONL-only mode (or with persistence disabled).",
+		func() float64 {
+			if s.cfg.PersistPath != "" && s.binarySnapshots() {
+				return 1
+			}
+			return 0
+		})
+	loadSample := func(name, help string, f func(li SnapshotLoad) float64) {
+		r.SampleFunc(name, help, "gauge", func() []obs.Sample {
+			li := s.cfg.SnapshotLoad
+			if li == nil {
+				return nil
+			}
+			return []obs.Sample{{Value: f(*li)}}
+		})
+	}
+	loadSample("corrfused_snapshot_load_seconds", "Wall time the startup store load took (the cold-start cost this process paid).",
+		func(li SnapshotLoad) float64 { return li.Duration.Seconds() })
+	loadSample("corrfused_snapshot_load_bytes", "Size of the file the store was loaded from at startup.",
+		func(li SnapshotLoad) float64 { return float64(li.Bytes) })
+	loadSample("corrfused_snapshot_load_binary", "1 when startup loaded the CFSN binary snapshot, 0 when it parsed the JSONL store.",
+		func(li SnapshotLoad) float64 {
+			if li.Format == SnapshotBinary {
+				return 1
+			}
+			return 0
+		})
+	loadSample("corrfused_snapshot_load_fallback", "1 when a binary snapshot existed but failed validation and startup fell back to the JSONL store (the reason is in /healthz).",
+		func(li SnapshotLoad) float64 {
+			if li.FallbackReason != "" {
+				return 1
+			}
+			return 0
+		})
 
 	s.walWait = r.Histogram("corrfused_wal_commit_wait_seconds", "Wall time Commit callers spent waiting for durability (group-commit fsync wait, or buffer flush).", obs.DefBuckets)
 	// The WAL families are suppressed — header included — when no WAL is
@@ -271,6 +310,8 @@ func (s *Server) initObs() {
 			}
 			return 0
 		})
+	replMetric("corrfused_repl_rebootstraps_total", "Automatic snapshot re-bootstraps after the leader truncated past this follower's position; nonzero means the follower fell behind a full retention window.", "counter",
+		func(st ReplStatus) float64 { return float64(st.Rebootstraps) })
 
 	r.GaugeFunc("corrfused_shards", "Shards of the live batch model (1 = monolithic).",
 		snap(func(sn *snapshot) float64 {

@@ -36,6 +36,9 @@ type ReplStatus struct {
 	// durable history; fetching has stopped until an operator wipes the
 	// follower's state and re-bootstraps it.
 	Diverged bool
+	// Rebootstraps counts automatic snapshot re-bootstraps after the leader
+	// truncated past this follower's position (HTTP 410).
+	Rebootstraps uint64
 }
 
 type replStatusFn func() ReplStatus
@@ -72,6 +75,7 @@ func (s *Server) replSummary(st ReplStatus) map[string]any {
 		"lagSeconds":      st.LagSeconds,
 		"segmentsShipped": st.SegmentsShipped,
 		"diverged":        st.Diverged,
+		"rebootstraps":    st.Rebootstraps,
 	}
 	if s.cfg.LeaderURL != "" {
 		out["leader"] = s.cfg.LeaderURL
@@ -121,6 +125,47 @@ func (s *Server) ApplyReplicated(recs []wal.Record) error {
 			}
 		}
 		s.live.Unlock()
+	}
+	return nil
+}
+
+// Rebootstrap replaces this follower's replication position with a fresh
+// leader snapshot: the snapshot stream (the leader's store as JSONL) is
+// merged into the local store and the local WAL is rebased so the next
+// shipped record is covered+1. It is the apply half of the follower's
+// automatic 410 recovery — the repl loop downloads the snapshot (see
+// repl.Snapshot) and hands the stream here.
+//
+// Merging (rather than wiping) the store is sound precisely because this
+// path runs only on truncation, never divergence: a truncated follower is
+// strictly BEHIND the leader, so every local entry also appears in the
+// snapshot and Put's provenance merge is idempotent. The store write lands
+// before the WAL rebase, preserving the store-before-log ordering the rest
+// of replication relies on; a crash between the two replays the old log
+// against a store that already absorbed the snapshot, which is harmless,
+// and the next 410 restarts the recovery.
+func (s *Server) Rebootstrap(covered uint64, r io.Reader) error {
+	if !s.cfg.ReadOnly {
+		return fmt.Errorf("serve: Rebootstrap on a non-follower server")
+	}
+	if s.wal == nil {
+		return fmt.Errorf("serve: Rebootstrap without a WAL")
+	}
+	if err := s.store.Read(r); err != nil {
+		return fmt.Errorf("serve: rebootstrap: snapshot: %w", err)
+	}
+	// The snapshot's observations bypassed the live scorer's journal, so
+	// its incremental state no longer matches the store: degrade to batch
+	// results until the next rebuild reseeds it, the same fallback a failed
+	// journal replay uses.
+	s.live.Lock()
+	if s.live.inc != nil {
+		s.live.inc = nil
+		s.logf("serve: rebootstrap: live scorer reset; serving batch results until the next rebuild")
+	}
+	s.live.Unlock()
+	if err := s.wal.Rebase(covered + 1); err != nil {
+		return fmt.Errorf("serve: rebootstrap: %w", err)
 	}
 	return nil
 }

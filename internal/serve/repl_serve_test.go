@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"corrfuse/internal/store"
 	"corrfuse/internal/wal"
 )
 
@@ -157,6 +159,56 @@ func TestCoveredSeqIsDurableWatermark(t *testing.T) {
 	}
 }
 
+// TestServerRebootstrap: the 410-recovery apply half — a leader snapshot
+// stream merges into the follower's store and the local WAL is rebased so
+// the next shipped record is covered+1; non-followers and WAL-less servers
+// refuse the call.
+func TestServerRebootstrap(t *testing.T) {
+	dir := t.TempDir()
+	cfg := walConfig(dir)
+	cfg.ReadOnly = true
+	srv := newServer(t, seedStore(t), cfg)
+
+	// Stale local history the leader has since truncated past.
+	if err := srv.ApplyReplicated([]wal.Record{
+		{Seq: 1, Source: "good1", Subject: "old1", Predicate: "p", Object: "v"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The leader's snapshot: its current store as JSONL, covering seq 9.
+	donor := store.New()
+	donor.Put(store.Entry{Triple: tr("old1", "v"), Sources: []string{"good1"}})
+	donor.Put(store.Entry{Triple: tr("reboot1", "v"), Sources: []string{"good1", "good2"}})
+	var snap bytes.Buffer
+	if err := donor.Write(&snap); err != nil {
+		t.Fatal(err)
+	}
+	const covered = 9
+	if err := srv.Rebootstrap(covered, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := srv.store.Get(tr("reboot1", "v")); !ok || len(e.Sources) != 2 {
+		t.Fatalf("snapshot entry not merged: %+v (ok=%v)", e, ok)
+	}
+	if e, ok := srv.store.Get(tr("old1", "v")); !ok || len(e.Sources) != 1 {
+		t.Fatalf("pre-rebootstrap entry lost or duplicated: %+v (ok=%v)", e, ok)
+	}
+	if got := srv.wal.Seq(); got != covered {
+		t.Fatalf("WAL seq %d after rebootstrap, want %d (next shipped record lands at %d)", got, covered, covered+1)
+	}
+
+	writer := newServer(t, seedStore(t), walConfig(t.TempDir()))
+	if err := writer.Rebootstrap(covered, strings.NewReader("")); err == nil {
+		t.Fatal("Rebootstrap accepted on a non-follower server")
+	}
+	roCfg := corrConfig()
+	roCfg.ReadOnly = true
+	noWAL := newServer(t, seedStore(t), roCfg)
+	if err := noWAL.Rebootstrap(covered, strings.NewReader("")); err == nil {
+		t.Fatal("Rebootstrap accepted without a WAL")
+	}
+}
+
 // TestReplStatusSurfaced: installing a status source activates the repl
 // sections of /healthz and /v1/refuse and the corrfused_repl_* families;
 // before installation the families are absent entirely.
@@ -173,7 +225,7 @@ func TestReplStatusSurfaced(t *testing.T) {
 	}
 
 	srv.SetReplStatus(func() ReplStatus {
-		return ReplStatus{Connected: true, AppliedSeq: 41, LeaderSeq: 44, LagRecords: 3, LagSeconds: 1.5, SegmentsShipped: 7, Diverged: true}
+		return ReplStatus{Connected: true, AppliedSeq: 41, LeaderSeq: 44, LagRecords: 3, LagSeconds: 1.5, SegmentsShipped: 7, Diverged: true, Rebootstraps: 2}
 	})
 
 	var health struct {
@@ -185,6 +237,7 @@ func TestReplStatusSurfaced(t *testing.T) {
 			LagSeconds      float64 `json:"lagSeconds"`
 			SegmentsShipped uint64  `json:"segmentsShipped"`
 			Diverged        bool    `json:"diverged"`
+			Rebootstraps    uint64  `json:"rebootstraps"`
 			Leader          string  `json:"leader"`
 		} `json:"repl"`
 	}
@@ -197,7 +250,7 @@ func TestReplStatusSurfaced(t *testing.T) {
 	}
 	if !health.Repl.Connected || health.Repl.LagRecords != 3 || health.Repl.Leader != cfg.LeaderURL ||
 		health.Repl.AppliedSeq != 41 || health.Repl.LeaderSeq != 44 || health.Repl.SegmentsShipped != 7 ||
-		!health.Repl.Diverged {
+		!health.Repl.Diverged || health.Repl.Rebootstraps != 2 {
 		t.Fatalf("healthz repl section wrong: %+v", health.Repl)
 	}
 
@@ -216,6 +269,7 @@ func TestReplStatusSurfaced(t *testing.T) {
 		"corrfused_repl_leader_seq 44",
 		"corrfused_repl_segments_shipped_total 7",
 		"corrfused_repl_diverged 1",
+		"corrfused_repl_rebootstraps_total 2",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("metrics missing %q", want)

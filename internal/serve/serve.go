@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,8 +95,25 @@ type Config struct {
 	MaxBodyBytes int64
 
 	// PersistPath, when non-empty, is the JSONL file the store is saved
-	// to after every rebuild and on Close.
+	// to after every rebuild and on Close. With SnapshotFormat "binary"
+	// (the default) every persist also maintains the mmap-able CFSN
+	// binary snapshot next to it (store.BinaryPath), the format a restart
+	// prefers for millisecond cold starts.
 	PersistPath string
+
+	// SnapshotFormat selects the cold-start snapshot persist maintains:
+	// SnapshotBinary (default, also the zero value) writes the CFSN
+	// binary snapshot next to the JSONL store; SnapshotJSONL writes only
+	// the JSONL file and removes any stale binary snapshot so it can
+	// never shadow newer data on the next startup.
+	SnapshotFormat string
+
+	// SnapshotLoad, when non-nil, records how the store handed to New was
+	// loaded (format, size, wall time, fallback reason) — cmd/fused fills
+	// it from store.LoadPreferred. /healthz and the
+	// corrfused_snapshot_load_* metric families expose it; nil suppresses
+	// both.
+	SnapshotLoad *SnapshotLoad
 
 	// WALDir, when non-empty, enables the durable write-ahead log: every
 	// observation is appended (and, per WALSync, fsynced) BEFORE it is
@@ -202,6 +220,28 @@ type Config struct {
 	// rebuild in progress) — recomputable load sheds first, acknowledged
 	// durability last. Zero disables shedding.
 	MaxInFlight int
+}
+
+// Config.SnapshotFormat values.
+const (
+	SnapshotBinary = "binary"
+	SnapshotJSONL  = "jsonl"
+)
+
+// SnapshotLoad describes how the store a Server was built over was
+// loaded at startup; see Config.SnapshotLoad.
+type SnapshotLoad struct {
+	// Format is "binary" (CFSN snapshot) or "jsonl".
+	Format string
+	// Bytes is the size of the file the store was loaded from.
+	Bytes int64
+	// Mapped reports a binary load served zero-copy from an mmap.
+	Mapped bool
+	// Duration is the wall time of the load (the cold-start cost).
+	Duration time.Duration
+	// FallbackReason is non-empty when a binary snapshot existed but
+	// failed validation and the JSONL store was loaded instead.
+	FallbackReason string
 }
 
 // refuseTimeoutFactor scales Config.RequestTimeout into the /v1/refuse
@@ -409,6 +449,11 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		s.maxBodyBytes = DefaultMaxBodyBytes
 	}
 	s.live.unknown = make(map[string]bool)
+	switch cfg.SnapshotFormat {
+	case "", SnapshotBinary, SnapshotJSONL:
+	default:
+		return nil, fmt.Errorf("serve: unknown SnapshotFormat %q (want %q or %q)", cfg.SnapshotFormat, SnapshotBinary, SnapshotJSONL)
+	}
 	s.initObs()
 	if cfg.WALDir != "" && cfg.PersistPath == "" {
 		return nil, fmt.Errorf("serve: WALDir requires PersistPath: WAL truncation rides the persist, so the log would grow and replay without bound")
@@ -574,6 +619,12 @@ func (s *Server) logf(format string, args ...any) {
 	s.logger.Logf(format, args...)
 }
 
+// binarySnapshots reports whether persist maintains the CFSN binary
+// snapshot next to the JSONL store (Config.SnapshotFormat).
+func (s *Server) binarySnapshots() bool {
+	return s.cfg.SnapshotFormat != SnapshotJSONL
+}
+
 // persist saves the store and, on success, truncates the WAL segments the
 // snapshot now covers. The WAL sequence is captured BEFORE the save: every
 // record at or below the capture finished its Append, and ingest writes the
@@ -582,6 +633,17 @@ func (s *Server) logf(format string, args ...any) {
 // acknowledged observation the snapshot missed. Failures are counted
 // (corrfused_persist_failures_total) and the latest error is surfaced in
 // /v1/refuse so operators can alert on a service that can no longer save.
+//
+// Under SnapshotFormat "binary" the CFSN snapshot is written before the
+// JSONL save, and both before the WAL truncation. The ordering is what
+// keeps truncation safe: the next startup PREFERS the .cfsn file, so a
+// stale one surviving past a truncation could resurrect a pre-truncation
+// store state and lose acknowledged writes. Truncation therefore only
+// proceeds once the binary snapshot next to the store is verifiably
+// fresh or gone — a binary save failure demotes this persist to
+// JSONL-only by deleting the stale .cfsn (and skips truncation if even
+// the delete fails). A binary-stage failure never fails the persist:
+// the JSONL save is the source of truth for durability.
 func (s *Server) persist() error {
 	if s.cfg.PersistPath == "" {
 		return nil
@@ -592,13 +654,38 @@ func (s *Server) persist() error {
 	if s.wal != nil {
 		capSeq = s.wal.Seq()
 	}
+	truncateOK := true
+	var binErr error
+	binPath := store.BinaryPath(s.cfg.PersistPath)
+	if s.binarySnapshots() {
+		start := time.Now()
+		if binErr = s.store.SaveBinary(binPath); binErr != nil {
+			// Counted below: persistFailures advances at most once per
+			// persist call, whichever stages failed.
+			s.m.lastPersistErr.Store(binErr.Error())
+			s.logf("serve: persist: binary snapshot: %v", binErr)
+			truncateOK = s.removeStaleBinary(binPath)
+		} else {
+			s.rebuildStage.With("snapshot_save_binary").Observe(time.Since(start))
+		}
+	} else {
+		// JSONL-only mode: a .cfsn left over from a binary-mode run would
+		// shadow every future JSONL save on restart; remove it.
+		truncateOK = s.removeStaleBinary(binPath)
+	}
+	start := time.Now()
 	if err := s.store.Save(s.cfg.PersistPath); err != nil {
 		s.m.persistFailures.Add(1)
 		s.m.lastPersistErr.Store(err.Error())
 		return fmt.Errorf("serve: persist: %w", err)
 	}
-	s.m.lastPersistErr.Store("")
-	if s.wal != nil {
+	s.rebuildStage.With("snapshot_save_jsonl").Observe(time.Since(start))
+	if binErr == nil {
+		s.m.lastPersistErr.Store("")
+	} else {
+		s.m.persistFailures.Add(1)
+	}
+	if s.wal != nil && truncateOK {
 		if err := s.wal.TruncateThrough(capSeq); err != nil {
 			// Non-fatal: an untruncated segment only costs replay time on
 			// the next startup, never correctness (replay is idempotent).
@@ -606,6 +693,19 @@ func (s *Server) persist() error {
 		}
 	}
 	return nil
+}
+
+// removeStaleBinary deletes the binary snapshot next to the store so it
+// cannot shadow a newer JSONL save on the next startup. It reports
+// whether WAL truncation is safe — true only when the file is verifiably
+// gone.
+func (s *Server) removeStaleBinary(path string) bool {
+	err := os.Remove(path)
+	if err == nil || os.IsNotExist(err) {
+		return true
+	}
+	s.logf("serve: persist: removing stale binary snapshot: %v", err)
+	return false
 }
 
 // lastPersistError returns the most recent persist failure, "" after a

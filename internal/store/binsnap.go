@@ -1,0 +1,533 @@
+package store
+
+// The CFSN binary snapshot: a versioned, CRC-footed, mmap-able image of
+// the store. Where the JSONL file is the durable interchange format —
+// human-greppable, append-merged by Read — the binary snapshot is the
+// cold-start format: fixed-width entry records over a deduplicated string
+// arena, the frozen fusion score/decision per entry, and the secondary
+// postings (subject / predicate / source) serialized pre-ranked, so
+// startup is mmap + header/CRC validation + table fill instead of a
+// reflective parse of every line.
+//
+// On-disk layout (little-endian throughout):
+//
+//	header (72 B)  magic "CFSN", format version, section counts
+//	arena          concatenated bytes of every distinct string
+//	strtab         nStrings × {off u64, len u32}   (into arena)
+//	entries        nEntries × 40 B fixed records (see below)
+//	refs           nRefs × u32                    (string idx, source lists)
+//	postings       3 groups (subject, predicate, source):
+//	                 per key: {key u32, n u32, n × entry u32}
+//	footer         crc32(IEEE) over everything above, u32
+//
+// Entry record (40 B): subject u32, predicate u32, object u32, label u32
+// (string indices; "" is always index 0), srcOff u32, srcLen u32 (into
+// refs), probability f64 bits, flags u64 (bit 0 = accepted).
+//
+// Postings are written pre-ranked: each subject/predicate/source list is
+// ordered by descending stored probability with the triple key breaking
+// ties — identical data always serializes identically, and a loaded
+// store serves its most probable results first without re-sorting. (A
+// JSONL-loaded store keeps insertion order instead; both are valid under
+// the documented "insertion order until mutated" contract, and the fused
+// outputs — which consume the primary entry order — are bit-identical.)
+//
+// Every section offset and index is bounds-checked at load: a torn,
+// truncated or bit-flipped file fails loudly (almost always at the CRC,
+// but never with a panic), and LoadPreferred falls back to the JSONL
+// store next to it.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"unsafe"
+
+	"corrfuse/internal/triple"
+)
+
+const (
+	binMagic     = "CFSN"
+	binVersion   = 1
+	binHeaderLen = 72
+	entryRecLen  = 40
+	strRecLen    = 12
+	flagAccepted = 1 << 0
+)
+
+// ErrBadSnapshot wraps every binary-snapshot validation failure, letting
+// callers distinguish "corrupt/unreadable snapshot, fall back" from I/O
+// errors like a missing file.
+var ErrBadSnapshot = errors.New("invalid binary snapshot")
+
+func badSnapshot(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
+}
+
+// BinaryPath returns the conventional binary-snapshot path next to a
+// JSONL store path.
+func BinaryPath(path string) string { return path + ".cfsn" }
+
+// arenaString views the arena bytes as a string without copying. The
+// mapping (or heap copy) backing it must outlive every string sliced
+// from it — which LoadBinary guarantees by never unmapping a snapshot
+// that validated.
+func arenaString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// intern deduplicates strings into the arena during WriteBinary.
+type intern struct {
+	idx   map[string]uint32
+	strs  []string
+	bytes uint64
+}
+
+func newIntern() *intern {
+	in := &intern{idx: make(map[string]uint32)}
+	in.of("") // "" is always index 0 (absent labels)
+	return in
+}
+
+func (in *intern) of(s string) uint32 {
+	if i, ok := in.idx[s]; ok {
+		return i
+	}
+	i := uint32(len(in.strs))
+	in.idx[s] = i
+	in.strs = append(in.strs, s)
+	in.bytes += uint64(len(s))
+	return i
+}
+
+// WriteBinary streams the store as a CFSN binary snapshot.
+func (s *Store) WriteBinary(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	if len(s.entries) > math.MaxUint32 {
+		return fmt.Errorf("store: %d entries exceed the binary snapshot's u32 space", len(s.entries))
+	}
+	in := newIntern()
+	var nRefs uint64
+	for i := range s.entries {
+		e := &s.entries[i]
+		in.of(e.Triple.Subject)
+		in.of(e.Triple.Predicate)
+		in.of(e.Triple.Object)
+		in.of(e.Label)
+		for _, src := range e.Sources {
+			in.of(src)
+		}
+		nRefs += uint64(len(e.Sources))
+	}
+
+	subjKeys, subjRefs := s.rankedPostings(s.bySubject, in)
+	predKeys, predRefs := s.rankedPostings(s.byPredicate, in)
+	srcKeys, srcRefs := s.rankedPostings(s.bySource, in)
+	totalPostingRefs := uint64(subjRefs + predRefs + srcRefs)
+
+	crc := crc32.NewIEEE()
+	bw := newBinWriter(io.MultiWriter(w, crc))
+
+	var hdr [binHeaderLen]byte
+	copy(hdr[0:4], binMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], binVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(s.entries)))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(in.strs)))
+	binary.LittleEndian.PutUint64(hdr[24:32], nRefs)
+	binary.LittleEndian.PutUint64(hdr[32:40], in.bytes)
+	binary.LittleEndian.PutUint64(hdr[40:48], uint64(len(subjKeys)))
+	binary.LittleEndian.PutUint64(hdr[48:56], uint64(len(predKeys)))
+	binary.LittleEndian.PutUint64(hdr[56:64], uint64(len(srcKeys)))
+	binary.LittleEndian.PutUint64(hdr[64:72], totalPostingRefs)
+	bw.write(hdr[:])
+
+	// Arena and string table.
+	for _, str := range in.strs {
+		bw.write([]byte(str))
+	}
+	var off uint64
+	for _, str := range in.strs {
+		bw.u64(off)
+		bw.u32(uint32(len(str)))
+		off += uint64(len(str))
+	}
+
+	// Entry records, then the concatenated source-ref lists.
+	var srcOff uint32
+	for i := range s.entries {
+		e := &s.entries[i]
+		bw.u32(in.of(e.Triple.Subject))
+		bw.u32(in.of(e.Triple.Predicate))
+		bw.u32(in.of(e.Triple.Object))
+		bw.u32(in.of(e.Label))
+		bw.u32(srcOff)
+		bw.u32(uint32(len(e.Sources)))
+		srcOff += uint32(len(e.Sources))
+		bw.u64(math.Float64bits(e.Probability))
+		var flags uint64
+		if e.Accepted {
+			flags |= flagAccepted
+		}
+		bw.u64(flags)
+	}
+	for i := range s.entries {
+		for _, src := range s.entries[i].Sources {
+			bw.u32(in.of(src))
+		}
+	}
+
+	for _, group := range [][]postingKey{subjKeys, predKeys, srcKeys} {
+		for _, pk := range group {
+			bw.u32(pk.str)
+			bw.u32(uint32(len(pk.entries)))
+			for _, ei := range pk.entries {
+				bw.u32(uint32(ei))
+			}
+		}
+	}
+	if err := bw.flush(); err != nil {
+		return fmt.Errorf("store: write binary snapshot: %w", err)
+	}
+	// Footer: CRC over everything written so far (not through crc —
+	// write it to w alone).
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+	if _, err := w.Write(foot[:]); err != nil {
+		return fmt.Errorf("store: write binary snapshot: %w", err)
+	}
+	return nil
+}
+
+type postingKey struct {
+	key     string
+	str     uint32
+	entries []int
+}
+
+// rankedPostings freezes one secondary index deterministically: keys
+// sorted lexicographically, each posting list re-ranked by descending
+// stored probability with the triple key breaking ties. Callers hold the
+// read lock.
+func (s *Store) rankedPostings(m map[string][]int, in *intern) ([]postingKey, int) {
+	keys := make([]postingKey, 0, len(m))
+	total := 0
+	for k, idxs := range m {
+		ranked := make([]int, len(idxs))
+		copy(ranked, idxs)
+		sort.SliceStable(ranked, func(a, b int) bool {
+			ea, eb := &s.entries[ranked[a]], &s.entries[ranked[b]]
+			if ea.Probability != eb.Probability {
+				return ea.Probability > eb.Probability
+			}
+			return ea.Triple.Key() < eb.Triple.Key()
+		})
+		keys = append(keys, postingKey{key: k, str: in.of(k), entries: ranked})
+		total += len(ranked)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].key < keys[b].key })
+	return keys, total
+}
+
+// binWriter batches small fixed-width writes with sticky error handling.
+type binWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func newBinWriter(w io.Writer) *binWriter {
+	return &binWriter{w: w, buf: make([]byte, 0, 1<<16)}
+}
+
+func (b *binWriter) flushIfFull() {
+	if len(b.buf) < cap(b.buf)-16 {
+		return
+	}
+	if b.err == nil {
+		_, b.err = b.w.Write(b.buf)
+	}
+	b.buf = b.buf[:0]
+}
+
+func (b *binWriter) write(p []byte) {
+	if b.err != nil {
+		return
+	}
+	if len(b.buf) > 0 {
+		_, b.err = b.w.Write(b.buf)
+		b.buf = b.buf[:0]
+		if b.err != nil {
+			return
+		}
+	}
+	_, b.err = b.w.Write(p)
+}
+
+func (b *binWriter) u32(v uint32) {
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, v)
+	b.flushIfFull()
+}
+
+func (b *binWriter) u64(v uint64) {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, v)
+	b.flushIfFull()
+}
+
+func (b *binWriter) flush() error {
+	if b.err == nil && len(b.buf) > 0 {
+		_, b.err = b.w.Write(b.buf)
+		b.buf = b.buf[:0]
+	}
+	return b.err
+}
+
+// SaveBinary writes the binary snapshot to a file with the same
+// crash-atomicity discipline as Save: temp file in the same directory,
+// fsync, rename, directory fsync.
+func (s *Store) SaveBinary(path string) error {
+	return writeFileAtomic(path, ".store-*.cfsn", s.WriteBinary)
+}
+
+// BinaryInfo describes a loaded binary snapshot.
+type BinaryInfo struct {
+	// Bytes is the snapshot file size.
+	Bytes int64
+	// Entries is the number of stored triples.
+	Entries int
+	// Mapped reports whether the snapshot is served from an mmap (the
+	// mapping stays alive for the life of the process; string data
+	// references it directly) rather than a heap copy.
+	Mapped bool
+}
+
+// LoadBinary loads a CFSN binary snapshot, memory-mapping it where the
+// platform supports it. String data is served zero-copy out of the
+// mapping, which therefore intentionally stays mapped for the life of
+// the process (the Store has no close; a validation failure unmaps).
+// Errors from a structurally invalid file wrap ErrBadSnapshot.
+func LoadBinary(path string) (*Store, *BinaryInfo, error) {
+	data, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := loadBinary(data)
+	if err != nil {
+		if mapped {
+			unmapFile(data)
+		}
+		return nil, nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return st, &BinaryInfo{Bytes: int64(len(data)), Entries: len(st.entries), Mapped: mapped}, nil
+}
+
+// loadBinary reconstructs a Store from the raw snapshot image. data is
+// untrusted: every offset, count and index is validated before use.
+func loadBinary(data []byte) (*Store, error) {
+	if len(data) < binHeaderLen+4 {
+		return nil, badSnapshot("file too short (%d bytes)", len(data))
+	}
+	if string(data[0:4]) != binMagic {
+		return nil, badSnapshot("bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != binVersion {
+		return nil, badSnapshot("unsupported format version %d", v)
+	}
+	nEntries := binary.LittleEndian.Uint64(data[8:16])
+	nStrings := binary.LittleEndian.Uint64(data[16:24])
+	nRefs := binary.LittleEndian.Uint64(data[24:32])
+	arenaLen := binary.LittleEndian.Uint64(data[32:40])
+	nSubj := binary.LittleEndian.Uint64(data[40:48])
+	nPred := binary.LittleEndian.Uint64(data[48:56])
+	nSrc := binary.LittleEndian.Uint64(data[56:64])
+	totalPostingRefs := binary.LittleEndian.Uint64(data[64:72])
+
+	// Reject absurd counts before any size arithmetic can overflow.
+	const maxCount = 1 << 40
+	for _, c := range []uint64{nEntries, nStrings, nRefs, arenaLen, nSubj, nPred, nSrc, totalPostingRefs} {
+		if c > maxCount {
+			return nil, badSnapshot("implausible section count %d", c)
+		}
+	}
+	arenaOff := uint64(binHeaderLen)
+	strTabOff := arenaOff + arenaLen
+	entriesOff := strTabOff + nStrings*strRecLen
+	refsOff := entriesOff + nEntries*entryRecLen
+	postingsOff := refsOff + nRefs*4
+	footerOff := postingsOff + (nSubj+nPred+nSrc)*8 + totalPostingRefs*4
+	if want := footerOff + 4; want != uint64(len(data)) {
+		return nil, badSnapshot("file is %d bytes, layout wants %d", len(data), want)
+	}
+	// CRC before trusting any section content.
+	wantCRC := binary.LittleEndian.Uint32(data[footerOff:])
+	if got := crc32.ChecksumIEEE(data[:footerOff]); got != wantCRC {
+		return nil, badSnapshot("CRC mismatch: file says %08x, content is %08x", wantCRC, got)
+	}
+
+	// Strings: one zero-copy view over the arena; every table entry is a
+	// substring of it.
+	arena := arenaString(data[arenaOff:strTabOff])
+	strs := make([]string, nStrings)
+	for i := uint64(0); i < nStrings; i++ {
+		rec := data[strTabOff+i*strRecLen:]
+		off := binary.LittleEndian.Uint64(rec[0:8])
+		n := uint64(binary.LittleEndian.Uint32(rec[8:12]))
+		if off+n > arenaLen || off+n < off {
+			return nil, badSnapshot("string %d spans [%d,%d) outside the %d-byte arena", i, off, off+n, arenaLen)
+		}
+		strs[i] = arena[off : off+n]
+	}
+	if nEntries > 0 && (nStrings == 0 || strs[0] != "") {
+		return nil, badSnapshot("string table must start with the empty string")
+	}
+
+	st := &Store{
+		entries:     make([]Entry, nEntries),
+		byKey:       make(map[triple.Triple]int, nEntries),
+		bySubject:   make(map[string][]int, nSubj),
+		byPredicate: make(map[string][]int, nPred),
+		bySource:    make(map[string][]int, nSrc),
+	}
+	str := func(i uint32, what string) (string, error) {
+		if uint64(i) >= nStrings {
+			return "", badSnapshot("%s string index %d out of range (%d strings)", what, i, nStrings)
+		}
+		return strs[i], nil
+	}
+
+	// One backing array for every source list: nEntries slices without
+	// nEntries allocations.
+	refBacking := make([]string, nRefs)
+	for i := uint64(0); i < nRefs; i++ {
+		si := binary.LittleEndian.Uint32(data[refsOff+i*4:])
+		s, err := str(si, "source ref")
+		if err != nil {
+			return nil, err
+		}
+		refBacking[i] = s
+	}
+	for i := uint64(0); i < nEntries; i++ {
+		rec := data[entriesOff+i*entryRecLen:]
+		var e Entry
+		var err error
+		if e.Triple.Subject, err = str(binary.LittleEndian.Uint32(rec[0:4]), "subject"); err != nil {
+			return nil, err
+		}
+		if e.Triple.Predicate, err = str(binary.LittleEndian.Uint32(rec[4:8]), "predicate"); err != nil {
+			return nil, err
+		}
+		if e.Triple.Object, err = str(binary.LittleEndian.Uint32(rec[8:12]), "object"); err != nil {
+			return nil, err
+		}
+		if e.Label, err = str(binary.LittleEndian.Uint32(rec[12:16]), "label"); err != nil {
+			return nil, err
+		}
+		srcOff := uint64(binary.LittleEndian.Uint32(rec[16:20]))
+		srcLen := uint64(binary.LittleEndian.Uint32(rec[20:24]))
+		if srcOff+srcLen > nRefs {
+			return nil, badSnapshot("entry %d source list [%d,%d) outside %d refs", i, srcOff, srcOff+srcLen, nRefs)
+		}
+		if srcLen > 0 {
+			e.Sources = refBacking[srcOff : srcOff+srcLen : srcOff+srcLen]
+		}
+		e.Probability = math.Float64frombits(binary.LittleEndian.Uint64(rec[24:32]))
+		e.Accepted = binary.LittleEndian.Uint64(rec[32:40])&flagAccepted != 0
+		st.entries[i] = e
+		if _, dup := st.byKey[e.Triple]; dup {
+			return nil, badSnapshot("duplicate triple at entry %d", i)
+		}
+		st.byKey[e.Triple] = int(i)
+	}
+
+	// Postings: one backing array again, then per-key sub-slices.
+	postBacking := make([]int, totalPostingRefs)
+	pos := postingsOff
+	used := uint64(0)
+	for g, group := range []struct {
+		n uint64
+		m map[string][]int
+	}{{nSubj, st.bySubject}, {nPred, st.byPredicate}, {nSrc, st.bySource}} {
+		for k := uint64(0); k < group.n; k++ {
+			if pos+8 > footerOff {
+				return nil, badSnapshot("postings overrun section (group %d)", g)
+			}
+			key, err := str(binary.LittleEndian.Uint32(data[pos:]), "posting key")
+			if err != nil {
+				return nil, err
+			}
+			cnt := uint64(binary.LittleEndian.Uint32(data[pos+4:]))
+			pos += 8
+			if used+cnt > totalPostingRefs || pos+cnt*4 > footerOff {
+				return nil, badSnapshot("posting list for %q overruns section", key)
+			}
+			list := postBacking[used : used : used+cnt]
+			for j := uint64(0); j < cnt; j++ {
+				ei := binary.LittleEndian.Uint32(data[pos:])
+				pos += 4
+				if uint64(ei) >= nEntries {
+					return nil, badSnapshot("posting for %q references entry %d of %d", key, ei, nEntries)
+				}
+				list = append(list, int(ei))
+			}
+			used += cnt
+			if _, dup := group.m[key]; dup {
+				return nil, badSnapshot("duplicate posting key %q", key)
+			}
+			group.m[key] = list
+		}
+	}
+	if used != totalPostingRefs || pos != footerOff {
+		return nil, badSnapshot("posting sections do not tile the file (used %d/%d refs)", used, totalPostingRefs)
+	}
+
+	// Match a JSONL load's version arithmetic: one bump per entry.
+	st.version = nEntries
+	return st, nil
+}
+
+// LoadInfo describes how a store was loaded.
+type LoadInfo struct {
+	// Format is "binary" or "jsonl".
+	Format string
+	// Bytes is the size of the file the store was loaded from.
+	Bytes int64
+	// Mapped reports an mmap-backed binary load.
+	Mapped bool
+	// FallbackReason is non-empty when a binary snapshot existed but was
+	// rejected (CRC/validation failure) and the JSONL store was loaded
+	// instead — loud enough to alert on, harmless to serve through.
+	FallbackReason string
+}
+
+// LoadPreferred loads the store for a JSONL path, preferring the binary
+// snapshot next to it (BinaryPath) and falling back to the JSONL file
+// when the snapshot is missing or fails validation. A corrupt snapshot
+// never serves: it is reported in LoadInfo.FallbackReason and skipped.
+func LoadPreferred(path string) (*Store, LoadInfo, error) {
+	binPath := BinaryPath(path)
+	st, bi, err := LoadBinary(binPath)
+	if err == nil {
+		return st, LoadInfo{Format: "binary", Bytes: bi.Bytes, Mapped: bi.Mapped}, nil
+	}
+	info := LoadInfo{Format: "jsonl"}
+	if !os.IsNotExist(err) {
+		info.FallbackReason = err.Error()
+	}
+	st, err = Load(path)
+	if err != nil {
+		return nil, info, err
+	}
+	if fi, statErr := os.Stat(path); statErr == nil {
+		info.Bytes = fi.Size()
+	}
+	return st, info, nil
+}

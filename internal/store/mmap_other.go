@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile reads the whole file on platforms without the unix mmap shim;
+// the loader works identically over a heap copy, just without the
+// page-cache sharing.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+func unmapFile([]byte) {}

@@ -337,13 +337,20 @@ var fsyncFile = func(f *os.File) error { return f.Sync() }
 // leave the rename on disk pointing at a zero-length or partial file; the
 // directory fsync afterwards makes the rename itself survive the cut.
 func (s *Store) Save(path string) error {
+	return writeFileAtomic(path, ".store-*.jsonl", s.Write)
+}
+
+// writeFileAtomic streams write into a temp file in path's directory and
+// moves it over path with the fsync-before-rename / fsync-dir-after
+// discipline Save documents. SaveBinary shares it for the .cfsn snapshot.
+func writeFileAtomic(path, pattern string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".store-*.jsonl")
+	f, err := os.CreateTemp(dir, pattern)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmp := f.Name()
-	if err := s.Write(f); err != nil {
+	if err := write(f); err != nil {
 		//lint:ignore errswallow cleanup on the error path; the Write error is returned and the temp file removed
 		f.Close()
 		os.Remove(tmp)

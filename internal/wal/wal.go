@@ -803,6 +803,55 @@ func (w *WAL) TruncateThrough(seq uint64) error {
 	return firstErr
 }
 
+// Rebase discards the log's entire local history and restarts it so the
+// next appended record is assigned sequence number first. It is the
+// follower re-bootstrap primitive: after the leader truncates past a
+// follower's position, the follower downloads a fresh snapshot covering
+// sequence first-1, at which point its local records are at best redundant
+// with the snapshot — so every segment (the open one included) is deleted
+// and a fresh empty segment named for first pins the counter, exactly as
+// WriteBootstrapSegment does for a cold bootstrap. The buffered tail is
+// deliberately NOT flushed: it is history being discarded, not data to
+// preserve.
+func (w *WAL) Rebase(first uint64) error {
+	if first == 0 {
+		return errors.New("wal: Rebase needs a sequence >= 1")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	//lint:ignore errswallow the segment is deleted next; nothing in it to preserve
+	w.f.Close()
+	// Delete newest-first so a failure partway leaves a contiguous prefix —
+	// an old log a future Open can still replay — never a mid-log gap. A
+	// failed Rebase leaves the WAL wedged on a closed file; the caller's
+	// retry (the follower loop re-bootstraps again on the next 410) runs the
+	// whole sequence over and completes the deletion.
+	doomed := append(append([]segment(nil), w.segs...), segment{path: w.segmentPath(w.segFirst)})
+	for i := len(doomed) - 1; i >= 0; i-- {
+		if err := os.Remove(doomed[i].path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("wal: rebase: %w", err)
+		}
+	}
+	w.segs = nil
+	w.seq = first - 1
+	// createSegment fsyncs the directory, covering the removals above too.
+	if err := w.createSegment(); err != nil {
+		return err
+	}
+	w.bw.Reset(w.f)
+	// Everything below first lives in the snapshot the caller applied; the
+	// log itself is empty, so the durability watermark is exactly first-1.
+	w.dmu.Lock()
+	w.durable = first - 1
+	w.lastGroup.Store(0)
+	w.dcond.Broadcast()
+	w.dmu.Unlock()
+	return nil
+}
+
 // Sync forces one flush+fsync pass regardless of policy.
 func (w *WAL) Sync() error {
 	w.syncPass()

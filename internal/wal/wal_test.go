@@ -451,6 +451,66 @@ func TestSeqSurvivesTruncateAndReopen(t *testing.T) {
 	}
 }
 
+// TestRebase: a rebase deletes every segment (open one included), pins the
+// sequence so the next append lands at exactly first, and the surviving
+// on-disk state replays cleanly across a reopen — the follower re-bootstrap
+// primitive.
+func TestRebase(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir, Options{SegmentBytes: 1}) // one record per segment
+	for i := 0; i < 5; i++ {
+		appendCommit(t, w, rec(i))
+	}
+
+	const first = 42
+	if err := w.Rebase(first); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != filepath.Join(dir, fmt.Sprintf("wal-%016d.jsonl", first)) {
+		t.Fatalf("rebase left segments %v, want only the pin for seq %d", paths, first)
+	}
+	if got := w.Seq(); got != first-1 {
+		t.Fatalf("Seq() = %d after rebase, want %d", got, first-1)
+	}
+	if st := w.Stats(); st.DurableSeq != first-1 || st.Segments != 1 || st.Bytes != 0 {
+		t.Fatalf("stats after rebase: %+v", st)
+	}
+	if seq := appendCommit(t, w, rec(100)); seq != first {
+		t.Fatalf("first post-rebase append got seq %d, want %d", seq, first)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs := mustOpen(t, dir, Options{})
+	defer w2.Close()
+	if len(recs) != 1 || recs[0].Seq != first {
+		t.Fatalf("reopen after rebase recovered %+v, want one record at seq %d", recs, first)
+	}
+	if seq := appendCommit(t, w2, rec(101)); seq != first+1 {
+		t.Fatalf("post-reopen append got seq %d, want %d", seq, first+1)
+	}
+
+	if err := w2.Rebase(0); err == nil {
+		t.Fatal("Rebase(0) accepted")
+	}
+}
+
+// TestRebaseClosed: rebasing a closed log fails with ErrClosed.
+func TestRebaseClosed(t *testing.T) {
+	w, _ := mustOpen(t, t.TempDir(), Options{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rebase(7); err != ErrClosed {
+		t.Fatalf("Rebase on closed log: %v, want ErrClosed", err)
+	}
+}
+
 // TestForeignSegmentNameIgnoredLoudly: a wal-*.jsonl file whose name carries
 // no sequence number cannot pin the log position — Open must skip it without
 // replaying it, and must say so (log line + IgnoredFiles stat) instead of

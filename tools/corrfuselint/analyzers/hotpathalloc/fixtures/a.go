@@ -41,10 +41,48 @@ func literal() map[string]int {
 	return map[string]int{"k": 1} // want "allocates a map literal"
 }
 
+//corrfuse:hotpath
+func appendFormat(dst []byte, n int) []byte {
+	dst = fmt.Append(dst, n)         // want "calls fmt.Append"
+	dst = fmt.Appendln(dst, n)       // want "calls fmt.Appendln"
+	return fmt.Appendf(dst, "%d", n) // want "calls fmt.Appendf"
+}
+
+//corrfuse:hotpath
+func toBytes(s string) []byte {
+	return []byte(s) // want "converts a string to \\[\\]byte"
+}
+
+//corrfuse:hotpath
+func toString(b []byte) string {
+	return string(b) // want "converts a \\[\\]byte to string"
+}
+
+type namedBytes []byte
+
+//corrfuse:hotpath
+func namedConversions(s string, b namedBytes) (namedBytes, string) {
+	nb := namedBytes(s)  // want "converts a string to \\[\\]byte"
+	return nb, string(b) // want "converts a \\[\\]byte to string"
+}
+
+// conversionFreeCasts stays quiet: single-byte/rune conversions and
+// []byte->[]byte identity shapes do not copy a string.
+//
+//corrfuse:hotpath
+func conversionFreeCasts(b byte, r rune, bs []byte) (string, []byte) {
+	return string(r), []byte(bs[:1])
+}
+
 // coldPath is unannotated: the same allocations are fine off the hot path.
 func coldPath(v any) (string, error) {
 	raw, err := json.Marshal(v)
 	return fmt.Sprintf("%d bytes", len(raw)), err
+}
+
+// coldConversions is unannotated: conversions are fine off the hot path.
+func coldConversions(s string, b []byte) ([]byte, string) {
+	return []byte(s), string(b)
 }
 
 //corrfuse:hotpath

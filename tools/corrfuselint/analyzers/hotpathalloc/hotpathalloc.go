@@ -2,10 +2,13 @@
 // zero-allocation serving target: inside a function whose doc carries
 // //corrfuse:hotpath (index.Lookup, the score/observe handlers), it
 // flags the allocation sources those paths must shed — encoding/json
-// calls, fmt.Sprintf-family formatting, and map construction. Findings
-// either get optimized away or carry a //lint:ignore stating why the
-// allocation is acceptable (e.g. once-per-request, not per-triple), so
-// the hot-path baseline stays intentional while the fast paths land.
+// calls, fmt.Sprintf/Append-family formatting, map construction, and
+// string<->[]byte conversions (each one copies its operand on every
+// call; hot paths share bytes via the codec package's pooled buffers
+// instead). Findings either get optimized away or carry a //lint:ignore
+// stating why the allocation is acceptable (e.g. once-per-request, not
+// per-triple), so the hot-path baseline stays intentional while the
+// fast paths land.
 package hotpathalloc
 
 import (
@@ -17,12 +20,33 @@ import (
 
 var Analyzer = &lint.Analyzer{
 	Name: "hotpathalloc",
-	Doc:  "encoding/json, fmt.Sprintf and map allocation inside //corrfuse:hotpath functions",
+	Doc:  "encoding/json, fmt formatting, map allocation and string<->[]byte conversion inside //corrfuse:hotpath functions",
 	Run:  run,
 }
 
 var fmtAllocs = map[string]bool{
-	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true, "Appendf": true,
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	// The Append family reuses the caller's buffer for the OUTPUT, but
+	// still boxes every operand into a []any and walks it reflectively —
+	// per-call allocations the escape analyzer cannot remove.
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// isString reports whether t's underlying type is a string.
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteSlice reports whether t is a []byte (or a named slice of a byte
+// type — same conversion cost).
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && e.Kind() == types.Byte
 }
 
 func run(pass *lint.Pass) error {
@@ -39,6 +63,24 @@ func run(pass *lint.Pass) error {
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.CallExpr:
+					// A CallExpr whose Fun is a type is a conversion:
+					// string([]byte) and []byte(string) copy their operand
+					// on every call (only a handful of compiler-recognized
+					// patterns, like map indexing, avoid the copy — and
+					// those deserve an explicit //lint:ignore).
+					if tv, ok := pass.Info.Types[ast.Unparen(n.Fun)]; ok && tv.IsType() && len(n.Args) == 1 {
+						if av, ok := pass.Info.Types[n.Args[0]]; ok {
+							dst, src := tv.Type.Underlying(), av.Type.Underlying()
+							switch {
+							case isByteSlice(dst) && isString(src):
+								pass.Reportf(n.Pos(),
+									"%s is a //corrfuse:hotpath function but converts a string to []byte: the conversion copies and allocates on every call", name)
+							case isString(dst) && isByteSlice(src):
+								pass.Reportf(n.Pos(),
+									"%s is a //corrfuse:hotpath function but converts a []byte to string: the conversion copies and allocates on every call", name)
+							}
+						}
+					}
 					obj := lint.Callee(pass.Info, n)
 					switch pkg := lint.PkgPathOf(obj); {
 					case pkg == "encoding/json":
